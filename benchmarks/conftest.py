@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper and saves the
+rendered table under ``benchmarks/results/``.  Set ``REPRO_BENCH_PACKETS``
+to trade fidelity for speed (default 1200 packets per measured point;
+the paper-vs-measured tables in EXPERIMENTS.md used 3000).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_packets(default: int = 1200) -> int:
+    return int(os.environ.get("REPRO_BENCH_PACKETS", default))
+
+
+@pytest.fixture
+def packets() -> int:
+    return bench_packets()
+
+
+@pytest.fixture
+def save_table():
+    """Persist a rendered experiment table next to the benchmarks."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

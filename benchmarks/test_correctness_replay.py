@@ -1,0 +1,44 @@
+"""§6.4's correctness verification: tagged replay, parallel == sequential.
+
+Paper: "NFP service graph could provide the same execution results as
+the sequential service chain."
+"""
+
+from repro.eval import render_table, replay_chain
+from repro.eval.experiments import NORTH_SOUTH_CHAIN, WEST_EAST_CHAIN
+from repro.traffic import DATACENTER_MIX
+
+CHAINS = [
+    NORTH_SOUTH_CHAIN,
+    WEST_EAST_CHAIN,
+    ("firewall", "monitor"),
+    ("monitor", "nat", "vpn"),
+    ("gateway", "caching", "monitor", "nids"),
+    ("ips", "monitor"),
+]
+
+
+def test_correctness_replay(benchmark, packets, save_table):
+    count = max(150, packets // 6)
+
+    def run():
+        return [replay_chain(chain, packets=count, sizes=DATACENTER_MIX)
+                for chain in CHAINS]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ("->".join(r.chain), r.graph, r.packets, r.matches,
+         r.drop_agreements, "OK" if r.ok else "MISMATCH")
+        for r in reports
+    ]
+    save_table(
+        "correctness_replay",
+        render_table(["chain", "graph", "pkts", "identical", "agreed drops",
+                      "verdict"], rows),
+    )
+    benchmark.extra_info["chains_verified"] = len(reports)
+
+    for report in reports:
+        assert report.ok, report
+        assert report.matches + report.drop_agreements == report.packets

@@ -1,0 +1,110 @@
+"""Cross-server NF parallelism (§7 scalability, implemented extension).
+
+Verifies the paper's partitioning constraint at benchmark scale: a
+six-NF graph split over servers keeps byte-exact correctness while
+every inter-server link carries exactly one (NSH-tagged) packet copy.
+"""
+
+from repro.core import Orchestrator, Policy
+from repro.dataplane import SequentialReference
+from repro.eval import render_table
+from repro.multiserver import NSH_LEN, MultiServerDataplane
+from repro.net import build_packet
+from repro.nfs import create_nf
+
+CHAIN = ["gateway", "monitor", "nat", "firewall", "loadbalancer", "vpn"]
+
+
+def test_cross_server_partitioning(benchmark, packets, save_table):
+    count = max(200, packets // 4)
+    graph = Orchestrator().compile(Policy.from_chain(CHAIN)).graph
+
+    def run():
+        multi = MultiServerDataplane(graph, cores_per_server=5)
+        reference = SequentialReference(
+            [create_nf(k, name=f"ref-{k}") for k in CHAIN]
+        )
+        identical = 0
+        for i in range(count):
+            make = lambda: build_packet(
+                src_ip=f"192.0.2.{i % 120 + 1}", src_port=6000 + i,
+                size=256, identification=i, payload=b"x",
+            )
+            out_multi = multi.process(make())
+            out_ref = reference.process(make())
+            if out_multi is None and out_ref is None:
+                identical += 1
+            elif (
+                out_multi is not None and out_ref is not None
+                and bytes(out_multi.buf) == bytes(out_ref.buf)
+            ):
+                identical += 1
+        return multi, identical
+
+    multi, identical = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (f"{i}->{i + 1}", link.frames, link.frames / count,
+         link.bytes // max(1, link.frames))
+        for i, link in enumerate(multi.links)
+    ]
+    save_table(
+        "cross_server",
+        f"graph: {graph.describe()}\n"
+        f"servers: {multi.num_servers}, identical outputs: {identical}/{count}\n"
+        + render_table(["link", "frames", "frames/pkt", "avg bytes"], rows),
+    )
+    benchmark.extra_info["servers"] = multi.num_servers
+    benchmark.extra_info["identical"] = f"{identical}/{count}"
+
+    assert multi.num_servers >= 2
+    assert identical == count
+    for link in multi.links:
+        # The paper's constraint: one copy per packet per link, shim
+        # overhead a fixed 16 B.
+        assert link.frames == count
+        assert link.bytes >= count * NSH_LEN
+
+
+def test_cross_server_timed_latency(benchmark, packets, save_table):
+    """Timed DES pipeline: the per-link latency penalty vs one box."""
+    from repro.dataplane import NFPServer
+    from repro.eval import deployed_from_graph
+    from repro.multiserver import TimedMultiServer
+    from repro.multiserver.latency import link_cost_us
+    from repro.sim import DEFAULT_PARAMS, Environment
+    from repro.traffic import FlowGenerator, TrafficSource
+
+    graph = Orchestrator().compile(Policy.from_chain(CHAIN)).graph
+    count = max(300, packets // 3)
+
+    def run():
+        env1 = Environment()
+        single = NFPServer(env1, DEFAULT_PARAMS)
+        single.deploy(deployed_from_graph(graph))
+        TrafficSource(env1, single.inject, 0.5, count,
+                      flows=FlowGenerator(num_flows=16, seed=4), seed=4)
+        env1.run()
+
+        env2 = Environment()
+        multi = TimedMultiServer(env2, DEFAULT_PARAMS, graph, cores_per_server=5)
+        TrafficSource(env2, multi.inject, 0.5, count,
+                      flows=FlowGenerator(num_flows=16, seed=4), seed=4)
+        env2.run()
+        return single, multi
+
+    single, multi = benchmark.pedantic(run, rounds=1, iterations=1)
+    penalty = multi.tail.latency.mean - single.latency.mean
+    model = link_cost_us(DEFAULT_PARAMS, 64)
+    save_table(
+        "cross_server_timed",
+        f"single box : {single.latency.mean:7.1f} us\n"
+        f"two boxes  : {multi.tail.latency.mean:7.1f} us "
+        f"({multi.num_servers} servers)\n"
+        f"penalty    : {penalty:7.1f} us (model: {model:.1f} us/link)",
+    )
+    benchmark.extra_info["penalty_us"] = round(penalty, 1)
+    benchmark.extra_info["model_us"] = round(model, 1)
+
+    assert multi.delivered == count
+    assert 0 < penalty < 3 * model

@@ -1,0 +1,33 @@
+"""Fig. 11: parallelism degree 2-5 (firewall, 300 busy cycles).
+
+Paper: no-copy latency reduction rises from 33% to 52% with degree;
+the copy variant reaches up to 32%; throughput is largely unaffected.
+"""
+
+from repro.eval import fig11_parallelism_degree
+
+
+def test_fig11_parallelism_degree(benchmark, packets, save_table):
+    table = benchmark.pedantic(
+        fig11_parallelism_degree, kwargs={"packets": packets},
+        rounds=1, iterations=1,
+    )
+    save_table("fig11_parallelism_degree", table.render())
+
+    nocopy = dict(zip(table.column("degree"),
+                      table.column("nocopy_reduction_pct")))
+    copy = dict(zip(table.column("degree"), table.column("copy_reduction_pct")))
+    benchmark.extra_info["nocopy_d2_d5"] = f"{nocopy[2]:.1f} -> {nocopy[5]:.1f}"
+    benchmark.extra_info["copy_d5"] = round(copy[5], 1)
+    benchmark.extra_info["paper"] = "33 -> 52 (no copy), <=32 (copy)"
+
+    # Higher degree -> bigger reduction, for both variants.
+    assert nocopy[5] > nocopy[3] > nocopy[2]
+    assert copy[5] > copy[2]
+    assert nocopy[5] > 40.0
+    # Copy variant stays below the no-copy one at every degree.
+    for degree in (2, 3, 4, 5):
+        assert copy[degree] < nocopy[degree]
+    # Throughput roughly flat across degrees ("not much affected").
+    rates = table.column("par_nocopy_mpps")
+    assert max(rates) / min(rates) < 1.2

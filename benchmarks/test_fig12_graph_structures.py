@@ -1,0 +1,31 @@
+"""Fig. 12: the six candidate 4-NF graph structures of Fig. 14.
+
+Paper: graphs with shorter equivalent chain length enjoy bigger latency
+benefits -- the all-parallel graph (length 1) wins, the near-sequential
+shapes see little reduction.
+"""
+
+from repro.eval import fig12_graph_structures
+
+
+def test_fig12_graph_structures(benchmark, packets, save_table):
+    table = benchmark.pedantic(
+        fig12_graph_structures, kwargs={"packets": packets},
+        rounds=1, iterations=1,
+    )
+    save_table("fig12_graph_structures", table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    benchmark.extra_info["allpar_lat"] = round(rows["(2) all-parallel"][2], 1)
+    benchmark.extra_info["seq_lat"] = round(rows["(1) sequential"][2], 1)
+
+    # Latency ordered by equivalent chain length.
+    by_length = sorted(table.rows, key=lambda r: r[1])
+    for shorter, longer in zip(by_length, by_length[1:]):
+        if shorter[1] < longer[1]:
+            assert shorter[2] < longer[2] * 1.05
+    # The all-parallel graph (equivalent length 1) beats sequential by a
+    # wide margin.
+    assert rows["(2) all-parallel"][2] < 0.7 * rows["(1) sequential"][2]
+    # Throughput does not collapse for any structure.
+    assert min(table.column("nocopy_mpps")) > 4.0

@@ -1,0 +1,26 @@
+"""Fig. 15 (§7): OpenBox merge + NFP block-level parallelism.
+
+Paper: after merging the modular Firewall and IPS, NFP parallelises
+independent blocks (Alert(firewall) beside the DPI), "further reducing
+latency" beyond the OpenBox merge alone.
+"""
+
+from repro.modular import fig15
+
+
+def test_fig15_modular_parallelism(benchmark, save_table):
+    result = benchmark(fig15)
+    save_table("fig15_modular_parallelism", str(result))
+
+    benchmark.extra_info["sequential_us"] = round(result.sequential_cost, 1)
+    benchmark.extra_info["openbox_us"] = round(result.openbox_cost, 1)
+    benchmark.extra_info["openbox_nfp_us"] = round(result.openbox_nfp_cost, 1)
+
+    # Each transformation strictly improves the critical path.
+    assert result.openbox_cost < result.sequential_cost
+    assert result.openbox_nfp_cost < result.openbox_cost
+    # The merged graph has the Fig. 15 shape.
+    description = result.openbox_nfp.describe()
+    assert "(alert#firewall | dpi)" in description
+    assert description.startswith("read_packets -> header_classifier")
+    assert description.endswith("output")

@@ -1,0 +1,33 @@
+"""Fig. 8: per-NF-type comparison of sequential vs parallel composition.
+
+Paper: the latency benefit of parallelism increases with NF complexity
+(Forwarder cheapest ... VPN/IDS costliest).
+"""
+
+from repro.eval import fig8_nf_complexity
+
+
+def test_fig8_nf_complexity(benchmark, packets, save_table):
+    table = benchmark.pedantic(
+        fig8_nf_complexity, kwargs={"packets": packets}, rounds=1, iterations=1
+    )
+    save_table("fig8_nf_complexity", table.render())
+
+    by_nf = {row[0]: row for row in table.rows}
+    reductions = {
+        nf: 1 - row[3] / row[2]  # parallel-no-copy vs NFP-sequential
+        for nf, row in by_nf.items()
+    }
+    benchmark.extra_info["reduction_forwarder_pct"] = round(
+        reductions["forwarder"] * 100, 1)
+    benchmark.extra_info["reduction_vpn_pct"] = round(reductions["vpn"] * 100, 1)
+
+    # Benefit grows with complexity; heavy NFs gain substantially.
+    assert reductions["vpn"] > reductions["firewall"] > reductions["forwarder"]
+    assert reductions["ids"] > 0.2
+    # Copy variant always costs more latency than no-copy (§6.3.2).
+    for row in table.rows:
+        assert row[4] > row[3]
+    # Throughput ordering: cheap NFs merger/classifier-bound (~10.7),
+    # heavy NFs NF-bound and far slower.
+    assert by_nf["forwarder"][7] > 5 * by_nf["vpn"][7]

@@ -1,0 +1,34 @@
+"""Fig. 9: firewall complexity sweep (busy-loop cycles 1..3000).
+
+Paper: the latency optimisation grows with per-packet cycles, reaching
+~45% at 3000 cycles; copy overhead is minimal relative to the gains.
+"""
+
+from repro.eval import fig9_cycles_sweep
+
+
+def test_fig9_cycles_sweep(benchmark, packets, save_table):
+    cycles = (1, 300, 900, 1500, 2100, 2700, 3000)
+    table = benchmark.pedantic(
+        fig9_cycles_sweep, kwargs={"packets": packets, "cycles": cycles},
+        rounds=1, iterations=1,
+    )
+    save_table("fig9_cycles_sweep", table.render())
+
+    reductions = dict(zip(table.column("cycles"),
+                          table.column("nocopy_reduction_pct")))
+    benchmark.extra_info["reduction_at_1"] = round(reductions[1], 1)
+    benchmark.extra_info["reduction_at_3000"] = round(reductions[3000], 1)
+    benchmark.extra_info["paper_at_3000"] = 45.0
+
+    # Reduction grows with complexity and is substantial at the top end.
+    assert reductions[3000] > reductions[300]
+    assert reductions[3000] > 25.0
+    # Latency grows monotonically with cycles in every configuration.
+    for column in ("nfp_seq_lat", "par_nocopy_lat", "onvm_seq_lat"):
+        values = table.column(column)
+        assert all(b > a * 0.95 for a, b in zip(values, values[1:]))
+    # Throughput falls as the NF gets heavier.
+    rates = table.column("par_mpps")
+    assert rates[0] > rates[-1]
+    assert rates[-1] < 1.2  # ~1 Mpps at 3000 cycles (Fig. 9b)

@@ -1,0 +1,48 @@
+"""Supplementary: latency attribution for the Fig. 13 chains.
+
+Explains the Fig. 13 measurements: which stage of each real-world graph
+holds the latency, and what the merge path costs -- the quantities the
+paper reasons about qualitatively in §6.2/§6.3.
+"""
+
+from repro.core import Orchestrator, Policy
+from repro.eval import latency_breakdown, render_table
+from repro.eval.experiments import NORTH_SOUTH_CHAIN, WEST_EAST_CHAIN
+from repro.traffic import DATACENTER_MIX
+
+
+def test_latency_breakdown(benchmark, packets, save_table):
+    def run():
+        return {
+            name: latency_breakdown(
+                Orchestrator().compile(Policy.from_chain(list(chain))).graph,
+                packets=packets, sizes=DATACENTER_MIX,
+            )
+            for name, chain in (
+                ("north-south", NORTH_SOUTH_CHAIN),
+                ("west-east", WEST_EAST_CHAIN),
+            )
+        }
+
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name, breakdown in breakdowns.items():
+        rows = [(seg, f"{value:.1f}", f"{share:.1f}%")
+                for seg, value, share in breakdown.rows()]
+        blocks.append(
+            f"--- {name} (total {breakdown.total_us:.1f} us) ---\n"
+            + render_table(["segment", "mean us", "share"], rows)
+        )
+    save_table("latency_breakdown", "\n\n".join(blocks))
+
+    ns, we = breakdowns["north-south"], breakdowns["west-east"]
+    # The VPN stage dominates the north-south graph; the IDS dominates
+    # west-east (both are the chains' expensive NFs).
+    assert ns.dominant() == "stage 0"
+    assert we.dominant() == "stage 0"
+    # West-east pays a visible merge/copy rendezvous; the copyless
+    # north-south merge is cheap.
+    assert we.segments["merge"] > ns.segments["merge"]
+    benchmark.extra_info["ns_dominant_share"] = round(ns.share("stage 0"), 2)
+    benchmark.extra_info["we_merge_us"] = round(we.segments["merge"], 1)

@@ -1,0 +1,61 @@
+"""Supplementary: offered-load sweep (the latency/throughput knee).
+
+Not a numbered figure, but the characterisation underlying every
+latency/throughput pair the paper reports: delivered rate tracks the
+offered rate up to the bottleneck capacity, then plateaus while latency
+and loss blow up.
+"""
+
+from repro.core import Orchestrator, Policy
+from repro.eval import load_sweep, nfp_capacity, render_table
+from repro.eval.plots import ascii_plot
+from repro.sim import DEFAULT_PARAMS
+
+
+def test_load_sweep_knee(benchmark, packets, save_table):
+    graph = Orchestrator().compile(
+        Policy.from_chain(["ids", "monitor", "loadbalancer"])
+    ).graph
+    fractions = (0.2, 0.5, 0.8, 0.95, 1.3, 2.0)
+
+    points = benchmark.pedantic(
+        load_sweep,
+        kwargs={"target": graph, "packets": max(1500, packets),
+                "fractions": fractions},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        (f"{p.offered_mpps:.2f}", f"{p.delivered_mpps:.2f}",
+         f"{p.loss_fraction * 100:.1f}%", f"{p.latency_mean_us:.1f}",
+         f"{p.latency_p99_us:.1f}")
+        for p in points
+    ]
+    chart = ascii_plot(
+        {
+            "delivered": [(p.offered_mpps, p.delivered_mpps) for p in points],
+            "offered": [(p.offered_mpps, p.offered_mpps) for p in points],
+        },
+        title="delivered vs offered (Mpps)",
+        x_label="offered Mpps",
+    )
+    save_table(
+        "load_sweep",
+        render_table(["offered", "delivered", "loss", "lat us", "p99 us"],
+                     rows) + "\n\n" + chart,
+    )
+
+    capacity = nfp_capacity(graph, DEFAULT_PARAMS).mpps
+    below = [p for p in points if p.offered_mpps < capacity * 0.96]
+    above = [p for p in points if p.offered_mpps > capacity * 1.2]
+    # Below the knee: delivered == offered, no loss.
+    for point in below:
+        assert abs(point.delivered_mpps - point.offered_mpps) < 0.05 * capacity
+        assert not point.saturated
+    # Above the knee: plateau at capacity, loss, inflated latency.
+    for point in above:
+        assert point.delivered_mpps < point.offered_mpps * 0.9
+        assert point.latency_mean_us > below[0].latency_mean_us * 2
+
+    benchmark.extra_info["capacity_mpps"] = round(capacity, 2)
+    benchmark.extra_info["plateau_mpps"] = round(points[-1].delivered_mpps, 2)

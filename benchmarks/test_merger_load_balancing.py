@@ -1,0 +1,39 @@
+"""§6.3.3: merger capacity and load balancing.
+
+Paper: one merger instance sustains 10.7 Mpps at parallelism degree 2;
+two instances suffice for full-speed processing up to degree 5.
+"""
+
+from repro.eval import merger_scaling, render_table
+
+
+def test_merger_load_balancing(benchmark, packets, save_table):
+    def run():
+        single = merger_scaling(degree=2, num_mergers=1, packets=packets)
+        double = merger_scaling(degree=5, num_mergers=2, packets=packets)
+        quad = merger_scaling(degree=4, num_mergers=2, packets=packets)
+        return single, double, quad
+
+    single, double, quad = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (f"d={r.degree} x{r.num_mergers}", f"{r.capacity_mpps:.2f}",
+         r.bottleneck, "yes" if r.lossless else "NO", f"{r.imbalance:.3f}")
+        for r in (single, double, quad)
+    ]
+    save_table(
+        "merger_load_balancing",
+        render_table(["config", "Mpps", "bottleneck", "lossless", "imbalance"], rows),
+    )
+
+    benchmark.extra_info["single_merger_mpps"] = round(single.capacity_mpps, 2)
+    benchmark.extra_info["paper_single_merger_mpps"] = 10.7
+
+    # One instance at degree 2 lands at the paper's 10.7 Mpps and is
+    # lossless at the measured load.
+    assert abs(single.capacity_mpps - 10.7) < 0.4
+    assert single.lossless
+    # Two instances carry degree 4-5 without loss, balanced by PID hash.
+    assert double.lossless and quad.lossless
+    assert double.imbalance < 1.15
+    assert quad.imbalance < 1.15

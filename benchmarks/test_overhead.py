@@ -1,0 +1,49 @@
+"""§6.3.1 + §6.3.2: resource overhead and copy/merge latency penalty.
+
+Paper: ro = 64 x (d-1) / s -> 8.8% at degree 2 on the data-center mix;
+copying+merging costs ~15 us of latency for the firewall at degree 2
+while remaining clearly worthwhile for complex NFs.
+"""
+
+import pytest
+
+from repro.eval import (
+    copy_merge_penalty,
+    expected_overhead,
+    render_table,
+    resource_overhead_curve,
+)
+
+
+def test_resource_overhead_curve(benchmark, packets, save_table):
+    rows = benchmark.pedantic(
+        resource_overhead_curve, kwargs={"packets": max(300, packets // 3)},
+        rounds=1, iterations=1,
+    )
+    table = render_table(
+        ["degree", "theory ro", "simulated ro"],
+        [(d, f"{t*100:.1f}%", f"{m*100:.1f}%") for d, t, m in rows],
+    )
+    save_table("overhead_resource", table)
+
+    for degree, theory, measured in rows:
+        # The simulated pool matches the paper's closed form.
+        assert measured == pytest.approx(theory, rel=0.05)
+    assert expected_overhead(2) == pytest.approx(0.088, abs=0.002)
+    benchmark.extra_info["ro_d2_pct"] = round(rows[0][2] * 100, 1)
+    benchmark.extra_info["paper_ro_d2_pct"] = 8.8
+
+
+def test_copy_merge_penalty(benchmark, packets, save_table):
+    nocopy, copy, penalty = benchmark.pedantic(
+        copy_merge_penalty, kwargs={"packets": packets}, rounds=1, iterations=1
+    )
+    save_table(
+        "overhead_copy_merge",
+        f"no-copy: {nocopy:.1f} us\ncopy:    {copy:.1f} us\n"
+        f"penalty: {penalty:.1f} us (paper ~15 us)",
+    )
+    benchmark.extra_info["penalty_us"] = round(penalty, 1)
+    assert 2.0 < penalty < 25.0
+    # The penalty is a small fraction of the sequential baseline.
+    assert penalty < 0.6 * nocopy

@@ -1,0 +1,19 @@
+"""§4.3 statistics: NF-pair parallelizability over Table 2.
+
+Paper: 53.8% of NF pairs parallelizable; 41.5% without copying.
+"""
+
+from repro.eval import compute_pair_statistics, render_table
+
+
+def test_pair_statistics(benchmark, save_table):
+    stats = benchmark(compute_pair_statistics)
+    table = render_table(["outcome", "measured %", "paper %"], stats.as_rows())
+    save_table("pair_statistics", table)
+
+    benchmark.extra_info["parallelizable_pct"] = round(stats.parallelizable * 100, 1)
+    benchmark.extra_info["no_copy_pct"] = round(stats.no_copy * 100, 1)
+    benchmark.extra_info["paper"] = "53.8 / 41.5"
+
+    assert abs(stats.parallelizable - 0.538) < 0.03
+    assert abs(stats.no_copy - 0.415) < 0.03

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Security pipeline: Priority rules, drops, and the policy DSL.
+
+Builds the §3 example -- a firewall and an IPS that may disagree on
+dropping -- using the textual policy language, with the Priority rule
+resolving conflicts in the IPS's favour.  Malicious payloads are
+injected among benign traffic; the example shows drops flowing through
+nil packets and NF state (alerts, ACL hits) accumulating.
+
+Also demonstrates §5.4's NF onboarding: a custom NF is registered by
+*inspecting its code* rather than hand-writing an action profile.
+
+Run:  python examples/intrusion_pipeline.py
+"""
+
+from repro import Orchestrator, parse_policy
+from repro.dataplane import FunctionalDataplane
+from repro.net import build_packet
+from repro.nfs import Ips, NetworkFunction, ProcessingContext, register_nf_class
+
+POLICY_TEXT = """
+# Inspect everything, IPS verdict wins over the firewall's (§3).
+NF fw: firewall
+NF ips: ips
+NF mon: monitor
+NF scrub: dscp-scrubber
+
+Priority(ips > fw)
+Order(mon, before, ips)
+Position(scrub, last)
+"""
+
+
+@register_nf_class
+class DscpScrubber(NetworkFunction):
+    """A custom NF: clears the DSCP codepoint on egress traffic."""
+
+    KIND = "dscp-scrubber"
+
+    def process(self, pkt, ctx: ProcessingContext) -> None:
+        ip = pkt.ipv4
+        if ip.dscp != 0:
+            ip.dscp = 0
+            ip.update_checksum()
+
+
+def main() -> None:
+    orch = Orchestrator()
+
+    # Onboard the custom NF by static inspection of its source (§5.4):
+    profile = orch.register_nf(DscpScrubber)
+    print("inspected profile:", profile)
+
+    policy = parse_policy(POLICY_TEXT, name="intrusion")
+    result = orch.compile(policy)
+    print("compiled graph  :", result.graph.describe())
+    for warning in result.warnings:
+        print("warning         :", warning)
+
+    plane = FunctionalDataplane(result.graph)
+    ips: Ips = plane.nfs["ips"]
+    signature = ips.engine.patterns[0]
+
+    emitted = dropped = 0
+    for i in range(200):
+        malicious = i % 10 == 0
+        payload = (signature + b"!!") if malicious else b"benign traffic %d" % i
+        pkt = build_packet(
+            src_ip=f"10.1.{i % 4}.{i % 200 + 1}",
+            src_port=20000 + i,
+            size=max(128, 64 + len(payload)),
+            payload=payload,
+            identification=i,
+        )
+        out = plane.process(pkt)
+        if out is None:
+            dropped += 1
+        else:
+            emitted += 1
+            assert out.ipv4.dscp == 0, "scrubber must clear DSCP"
+
+    print(f"\ntraffic         : 200 packets, {dropped} dropped, {emitted} emitted")
+    print(f"ips alerts      : {ips.alerts}, blocked {ips.blocked}")
+    print(f"monitor flows   : {plane.nfs['mon'].flow_count()}")
+    fw = plane.nfs["fw"]
+    print(f"firewall        : {fw.permitted} permitted, {fw.denied} denied")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""NFP: Enabling Network Function Parallelism in NFV -- full reproduction.
+
+A from-scratch Python implementation of the SIGCOMM 2017 NFP framework
+(Sun, Bi, Zheng, Yu, Hu) and every substrate its evaluation depends on:
+
+* :mod:`repro.core` -- the paper's contribution: the policy language,
+  NF action/dependency analysis (Tables 2-3, Algorithm 1), and the
+  compiler that turns policies into parallel service graphs with
+  classification/forwarding/merging tables.
+* :mod:`repro.net` -- byte-level packet substrate (Ethernet/IPv4/TCP/
+  UDP/IPsec-AH, checksums, LPM, AES-128).
+* :mod:`repro.nfs` -- the six prototype NFs of §6.1 plus the rest of
+  Table 2.
+* :mod:`repro.dataplane` -- the NFP infrastructure of §5: classifier,
+  distributed NF runtimes, load-balanced mergers; both an untimed
+  functional executor and a timed discrete-event server.
+* :mod:`repro.sim` -- the DES substrate standing in for DPDK and the
+  paper's physical testbed, with calibrated timing constants.
+* :mod:`repro.baselines` -- OpenNetVM (pipelining) and BESS (RTC).
+* :mod:`repro.traffic` -- packet/flow generation, data-center size mix.
+* :mod:`repro.eval` -- one experiment per table/figure of §6-§7.
+* :mod:`repro.modular` -- the Fig. 15 OpenBox+NFP extension.
+
+Quickstart::
+
+    from repro import Orchestrator, Policy
+
+    orch = Orchestrator()
+    policy = Policy.from_chain(["vpn", "monitor", "firewall", "loadbalancer"])
+    graph = orch.compile(policy).graph
+    print(graph.describe())   # vpn -> (monitor | firewall) -> loadbalancer
+"""
+
+from .core import (
+    Action,
+    ActionProfile,
+    ActionTable,
+    CompilationResult,
+    NFPCompiler,
+    NFSpec,
+    Orchestrator,
+    Parallelism,
+    Policy,
+    ServiceGraph,
+    Verb,
+    check_policy,
+    compile_policy,
+    default_action_table,
+    identify_parallelism,
+    inspect_nf,
+    parse_policy,
+)
+from .net import Field, Packet, PacketMeta, build_packet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Orchestrator",
+    "Policy",
+    "NFSpec",
+    "parse_policy",
+    "check_policy",
+    "compile_policy",
+    "NFPCompiler",
+    "CompilationResult",
+    "ServiceGraph",
+    "Action",
+    "ActionProfile",
+    "ActionTable",
+    "Verb",
+    "Parallelism",
+    "identify_parallelism",
+    "default_action_table",
+    "inspect_nf",
+    "Packet",
+    "PacketMeta",
+    "build_packet",
+    "Field",
+]

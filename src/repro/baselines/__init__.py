@@ -1,0 +1,11 @@
+"""Baseline systems the paper compares against (§6, §7).
+
+* :class:`OpenNetVMServer` -- pipelining model with a centralized
+  virtual switch (the paper's main comparison system).
+* :class:`BessServer` -- run-to-completion chains (Table 4).
+"""
+
+from .opennetvm import OpenNetVMServer
+from .bess import BessServer
+
+__all__ = ["OpenNetVMServer", "BessServer"]

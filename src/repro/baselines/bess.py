@@ -1,0 +1,119 @@
+"""BESS baseline: run-to-completion service chains (§7, Table 4).
+
+"The RTC model consolidates an entire service chain as a native process
+on a CPU core" -- no rings between NFs, no per-hop cost.  Given k cores,
+BESS "duplicate[s] k entire chains to place on the k cores, and
+perform[s] hashing in the NIC to split traffic across cores" (RSS).
+Throughput scales with cores until the NIC line rate caps it; latency is
+the NIC round trip plus one consolidated service time.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Sequence
+
+from ..net.packet import Packet
+from ..nfs.base import NetworkFunction, create_nf
+from ..sim import Core, Environment, Nic, Ring, SimParams
+from ..sim.stats import LatencyStats, RateMeter
+
+__all__ = ["BessServer"]
+
+
+class _RtcCore:
+    """One core running a full duplicated chain run-to-completion."""
+
+    def __init__(self, server: "BessServer", index: int, nfs: List[NetworkFunction]):
+        self.server = server
+        self.index = index
+        self.nfs = nfs
+        self.core = Core(server.env, name=f"rtc{index}")
+        self.rx = Ring(server.env, server.params.ring_capacity, name=f"rtc{index}.rx")
+        server.env.process(self._run())
+
+    def _run(self):
+        params = self.server.params
+        while True:
+            first = yield self.rx.get()
+            batch = [first] + self.rx.get_batch(params.batch_size - 1)
+            for pkt in batch:
+                service = params.rtc_base_us + sum(
+                    params.rtc_per_nf_us + nf.extra_cycles / 3000.0 for nf in self.nfs
+                )
+                yield self.core.execute(service)
+                dropped = False
+                for nf in self.nfs:
+                    if nf.handle(pkt).dropped:
+                        dropped = True
+                        break
+                if dropped:
+                    self.server.nil_dropped += 1
+                else:
+                    self.server.emit(pkt)
+
+
+class BessServer:
+    """RTC chains duplicated over ``num_cores`` with NIC RSS hashing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: SimParams,
+        chain: Sequence[str],
+        num_cores: int = 1,
+        extra_cycles: int = 0,
+    ):
+        if not chain:
+            raise ValueError("chain must name at least one NF")
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.env = env
+        self.params = params
+        self.nic_tx = Nic(env, params, name="tx")
+        self.cores: List[_RtcCore] = []
+        for index in range(num_cores):
+            nfs = [
+                create_nf(kind, name=f"rtc{index}-{kind}{i}")
+                for i, kind in enumerate(chain)
+            ]
+            for nf in nfs:
+                nf.extra_cycles = max(nf.extra_cycles, extra_cycles)
+            self.cores.append(_RtcCore(self, index, nfs))
+
+        self.latency = LatencyStats()
+        self.rate = RateMeter()
+        self.lost = 0
+        self.nil_dropped = 0
+        self.emitted_packets: List[Packet] = []
+        self.keep_packets = False
+
+    @property
+    def cores_used(self) -> int:
+        return len(self.cores)
+
+    def inject(self, pkt: Packet) -> None:
+        if pkt.ingress_us == 0.0:
+            pkt.ingress_us = self.env.now
+        # NIC RSS: hash the 5-tuple to a core.
+        target = self.cores[
+            zlib.crc32(repr(pkt.five_tuple()).encode()) % len(self.cores)
+        ]
+
+        def rx():
+            yield self.env.timeout(self.params.nic_io_us)
+            if not target.rx.try_put(pkt):
+                self.lost += 1
+
+        self.env.process(rx())
+
+    def emit(self, pkt: Packet) -> None:
+        def tx():
+            yield self.env.timeout(self.params.nic_io_us)
+            yield self.nic_tx.transmit(pkt.wire_len)
+            self.latency.record(self.env.now - pkt.ingress_us)
+            self.rate.record_delivery(self.env.now)
+            if self.keep_packets:
+                self.emitted_packets.append(pkt)
+
+        self.env.process(tx())

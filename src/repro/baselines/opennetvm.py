@@ -1,0 +1,147 @@
+"""OpenNetVM baseline: sequential chains through a centralized switch.
+
+Models the comparison system of §6 (OpenNetVM, the container port of
+NetVM): NFs on pinned cores exchange packets through a *centralized*
+manager/switch core.  The manager receives from the NIC (its per-packet
+service bounds throughput at 9.38 Mpps, Table 4) and every inter-NF hop
+traverses it again (a cheap enqueue op, but one that queues behind the
+manager's backlog -- the paper's "packet queuing in this centralized
+switch would compromise the performance").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..net.packet import Packet
+from ..nfs.base import NetworkFunction, create_nf
+from ..sim import Core, Environment, Nic, Ring, SimParams
+from ..sim.stats import LatencyStats, RateMeter
+
+__all__ = ["OpenNetVMServer"]
+
+
+class _OnvmNF:
+    """An NF on its own core; returns packets to the manager afterwards."""
+
+    def __init__(self, server: "OpenNetVMServer", nf: NetworkFunction, index: int):
+        self.server = server
+        self.nf = nf
+        self.index = index
+        self.core = Core(server.env, name=f"onvm-nf{index}")
+        self.rx = Ring(server.env, server.params.ring_capacity, name=f"{nf.name}.rx")
+        server.env.process(self._run())
+
+    def _run(self):
+        params = self.server.params
+        while True:
+            first = yield self.rx.get()
+            batch = [first] + self.rx.get_batch(params.batch_size - 1)
+            for pkt in batch:
+                service = params.nf_runtime_us + params.nf_service(
+                    self.nf.KIND, self.nf.extra_cycles
+                )
+                yield self.core.execute(service)
+            for pkt in batch:
+                ctx = self.nf.handle(pkt)
+                if ctx.dropped:
+                    self.server.nil_dropped += 1
+                    continue
+                self.server.to_manager(pkt, self.index + 1)
+
+
+class OpenNetVMServer:
+    """A sequential service chain under the OpenNetVM architecture."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: SimParams,
+        chain: Sequence[str],
+        nf_instances: Optional[List[NetworkFunction]] = None,
+        extra_cycles: int = 0,
+    ):
+        if not chain:
+            raise ValueError("chain must name at least one NF")
+        self.env = env
+        self.params = params
+        self.manager_core = Core(env, name="onvm-manager")
+        self.manager_ring = Ring(env, params.ring_capacity, name="manager.rx")
+        self.nic_tx = Nic(env, params, name="tx")
+
+        if nf_instances is None:
+            nfs = [create_nf(kind, name=f"{kind}{i}") for i, kind in enumerate(chain)]
+        else:
+            nfs = list(nf_instances)
+        if len(nfs) != len(chain):
+            raise ValueError("nf_instances must match the chain length")
+        for nf in nfs:
+            nf.extra_cycles = max(nf.extra_cycles, extra_cycles)
+        self.nfs = [_OnvmNF(self, nf, i) for i, nf in enumerate(nfs)]
+
+        self.latency = LatencyStats()
+        self.rate = RateMeter()
+        self.lost = 0
+        self.nil_dropped = 0
+        self.emitted_packets: List[Packet] = []
+        self.keep_packets = False
+        env.process(self._manager_loop())
+
+    @property
+    def cores_used(self) -> int:
+        """NF cores + the manager (the paper's n+1; +1 NIC-side core in
+        Table 4's accounting comes from the generator)."""
+        return len(self.nfs) + 1
+
+    # ------------------------------------------------------------ dataplane
+    def inject(self, pkt: Packet) -> None:
+        if pkt.ingress_us == 0.0:
+            pkt.ingress_us = self.env.now
+
+        def rx():
+            yield self.env.timeout(self.params.nic_io_us)
+            if not self.manager_ring.try_put((pkt, 0, True)):
+                self.lost += 1
+
+        self.env.process(rx())
+
+    def to_manager(self, pkt: Packet, next_index: int) -> None:
+        def back():
+            yield self.env.timeout(self.params.batch_wait_us)
+            if not self.manager_ring.try_put((pkt, next_index, False)):
+                self.lost += 1
+
+        self.env.process(back())
+
+    def _manager_loop(self):
+        params = self.params
+        while True:
+            first = yield self.manager_ring.get()
+            batch = [first] + self.manager_ring.get_batch(params.batch_size - 1)
+            for pkt, next_index, fresh in batch:
+                cost = params.onvm_manager_us if fresh else params.onvm_hop_op_us
+                yield self.manager_core.execute(cost)
+            for pkt, next_index, fresh in batch:
+                if next_index >= len(self.nfs):
+                    self._emit(pkt)
+                    continue
+                self._deliver(self.nfs[next_index].rx, pkt)
+
+    def _deliver(self, ring: Ring, pkt: Packet) -> None:
+        def hop():
+            yield self.env.timeout(self.params.onvm_switch_hop_us)
+            if not ring.try_put(pkt):
+                self.lost += 1
+
+        self.env.process(hop())
+
+    def _emit(self, pkt: Packet) -> None:
+        def tx():
+            yield self.env.timeout(self.params.nic_io_us)
+            yield self.nic_tx.transmit(pkt.wire_len)
+            self.latency.record(self.env.now - pkt.ingress_us)
+            self.rate.record_delivery(self.env.now)
+            if self.keep_packets:
+                self.emitted_packets.append(pkt)
+
+        self.env.process(tx())

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compile
+    Compile a policy (DSL file or ``--chain a,b,c``) and print the
+    service graph, the per-pair Algorithm 1 verdicts, and the generated
+    CT/FT tables.
+measure
+    Run a chain on the simulated testbed under NFP / OpenNetVM / BESS
+    and print latency, throughput, and overhead.
+pairs
+    Print the §4.3 parallelizability matrix and summary statistics.
+sweep
+    Plot a Fig. 9-style busy-cycle sweep or a Fig. 11-style degree
+    sweep as a terminal chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Orchestrator, Parallelism, Policy, parse_policy
+from .eval import (
+    compute_pair_statistics,
+    forced_parallel,
+    forced_sequential,
+    measure_bess,
+    measure_nfp,
+    measure_onvm,
+    render_table,
+)
+from .eval.plots import ascii_plot
+
+__all__ = ["main"]
+
+
+def _chain_from(args) -> List[str]:
+    if not args.chain:
+        raise SystemExit("--chain a,b,c is required")
+    return [part.strip() for part in args.chain.split(",") if part.strip()]
+
+
+def _load_policy(args) -> Policy:
+    if args.policy:
+        with open(args.policy) as handle:
+            return parse_policy(handle.read(), name=args.policy)
+    return Policy.from_chain(_chain_from(args))
+
+
+def cmd_compile(args) -> int:
+    orch = Orchestrator()
+    policy = _load_policy(args)
+    result = orch.compile(policy)
+    graph = result.graph
+    print(f"graph            : {graph.describe()}")
+    print(f"equivalent length: {graph.equivalent_length}")
+    print(f"packet versions  : {graph.num_versions} "
+          f"({graph.num_versions - 1} copies)")
+    print(f"merger count     : {graph.total_count}")
+    if graph.merge_ops:
+        print(f"merge operations : {graph.merge_ops}")
+    for warning in result.warnings:
+        print(f"warning          : {warning}")
+    if args.verbose:
+        print("\npairwise verdicts:")
+        for (a, b), verdict in sorted(result.decisions.items()):
+            print(f"  {a} before {b}: {verdict.classification.value}")
+        deployed = orch.deploy(policy)
+        print(f"\nCT: {deployed.tables.ct_entry}")
+        for nf, actions in deployed.tables.forwarding.items():
+            print(f"FT[{nf}]: {actions}")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    chain = _chain_from(args)
+    rows = []
+    systems = args.systems.split(",")
+    for system in systems:
+        system = system.strip().lower()
+        if system == "nfp":
+            graph = Orchestrator().compile(Policy.from_chain(chain)).graph
+            result = measure_nfp(graph, packets=args.packets)
+        elif system == "nfp-seq":
+            result = measure_nfp(forced_sequential(chain), packets=args.packets)
+        elif system == "onvm":
+            result = measure_onvm(chain, packets=args.packets)
+        elif system == "bess":
+            result = measure_bess(chain, num_cores=len(chain) + 2,
+                                  packets=args.packets)
+        else:
+            raise SystemExit(f"unknown system {system!r}")
+        rows.append([
+            result.system, result.label, result.latency_mean_us,
+            result.latency_p99_us, result.throughput_mpps,
+            result.bottleneck, result.resource_overhead * 100,
+        ])
+    print(render_table(
+        ["system", "graph", "lat us", "p99 us", "Mpps", "bottleneck",
+         "overhead %"], rows))
+    return 0
+
+
+def cmd_pairs(args) -> int:
+    stats = compute_pair_statistics()
+    names = sorted({a for a, _ in stats.per_pair})
+    symbol = {
+        Parallelism.NO_COPY: ".",
+        Parallelism.WITH_COPY: "c",
+        Parallelism.NOT_PARALLELIZABLE: "X",
+    }
+    width = max(len(n) for n in names)
+    print(" " * (width + 1) + " ".join(n[:2] for n in names))
+    for first in names:
+        cells = " ".join(
+            symbol[stats.per_pair[(first, second)]] + " " for second in names
+        )
+        print(f"{first:>{width}s} {cells}")
+    print("\n(. = no copy, c = with copy, X = not parallelizable; "
+          "row runs before column)\n")
+    print(render_table(["outcome", "measured %", "paper %"], stats.as_rows()))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a pcap trace through a compiled graph, write the output."""
+    from .dataplane import FunctionalDataplane
+    from .net import read_pcap, write_pcap
+
+    orch = Orchestrator()
+    policy = _load_policy(args)
+    graph = orch.compile(policy).graph
+    plane = FunctionalDataplane(graph)
+    records = read_pcap(args.input)
+    outputs = []
+    for timestamp, pkt in records:
+        try:
+            out = plane.process(pkt)
+        except ValueError as exc:
+            print(f"skipping unparsable packet at {timestamp:.0f}us: {exc}",
+                  file=sys.stderr)
+            continue
+        if out is not None:
+            out.ingress_us = timestamp
+            outputs.append(out)
+    written = write_pcap(args.output, outputs) if args.output else 0
+    print(f"graph   : {graph.describe()}")
+    print(f"input   : {len(records)} packets")
+    print(f"emitted : {plane.emitted}, dropped: {plane.dropped}")
+    if args.output:
+        print(f"output  : {written} packets -> {args.output}")
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    """Per-segment latency attribution for a compiled graph."""
+    from .eval import latency_breakdown
+
+    policy = _load_policy(args)
+    graph = Orchestrator().compile(policy).graph
+    breakdown = latency_breakdown(graph, packets=args.packets)
+    print(f"graph : {graph.describe()}")
+    print(f"total : {breakdown.total_us:.1f} us "
+          f"(over {breakdown.packets} packets)\n")
+    print(render_table(
+        ["segment", "mean us", "share %"],
+        [(name, f"{value:.1f}", f"{share:.1f}")
+         for name, value, share in breakdown.rows()],
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    series = {"sequential": [], "parallel": []}
+    if args.kind == "cycles":
+        points = (1, 600, 1200, 1800, 2400, 3000)
+        for cycles in points:
+            seq = measure_nfp(forced_sequential(["firewall"] * 2),
+                              packets=args.packets, extra_cycles=cycles)
+            par = measure_nfp(forced_parallel(["firewall"] * 2, with_copy=False),
+                              packets=args.packets, extra_cycles=cycles)
+            series["sequential"].append((cycles, seq.latency_mean_us))
+            series["parallel"].append((cycles, par.latency_mean_us))
+        x_label = "busy cycles per packet"
+    else:
+        for degree in (2, 3, 4, 5):
+            seq = measure_nfp(forced_sequential(["firewall"] * degree),
+                              packets=args.packets, extra_cycles=300)
+            par = measure_nfp(forced_parallel(["firewall"] * degree,
+                                              with_copy=False),
+                              packets=args.packets, extra_cycles=300)
+            series["sequential"].append((degree, seq.latency_mean_us))
+            series["parallel"].append((degree, par.latency_mean_us))
+        x_label = "parallelism degree"
+    print(ascii_plot(series, title=f"latency vs {x_label}",
+                     x_label=x_label, y_label="us"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a policy")
+    p_compile.add_argument("--policy", help="policy DSL file")
+    p_compile.add_argument("--chain", help="comma-separated NF kinds")
+    p_compile.add_argument("-v", "--verbose", action="store_true")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_measure = sub.add_parser("measure", help="measure a chain")
+    p_measure.add_argument("--chain", required=True)
+    p_measure.add_argument("--systems", default="nfp,onvm,bess")
+    p_measure.add_argument("--packets", type=int, default=2000)
+    p_measure.set_defaults(func=cmd_measure)
+
+    p_pairs = sub.add_parser("pairs", help="§4.3 parallelizability matrix")
+    p_pairs.set_defaults(func=cmd_pairs)
+
+    p_replay = sub.add_parser("replay", help="replay a pcap through a graph")
+    p_replay.add_argument("--policy", help="policy DSL file")
+    p_replay.add_argument("--chain", help="comma-separated NF kinds")
+    p_replay.add_argument("--input", required=True, help="input pcap")
+    p_replay.add_argument("--output", help="output pcap")
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_breakdown = sub.add_parser("breakdown",
+                                 help="latency attribution per segment")
+    p_breakdown.add_argument("--policy", help="policy DSL file")
+    p_breakdown.add_argument("--chain", help="comma-separated NF kinds")
+    p_breakdown.add_argument("--packets", type=int, default=1200)
+    p_breakdown.set_defaults(func=cmd_breakdown)
+
+    p_sweep = sub.add_parser("sweep", help="plot a latency sweep")
+    p_sweep.add_argument("kind", choices=["cycles", "degree"])
+    p_sweep.add_argument("--packets", type=int, default=1500)
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""NF action model: what an NF does to packets (the rows of Table 2).
+
+An :class:`Action` is a verb applied to a named packet field -- *Read*,
+*Write*, *Add*, *Remove* or *Drop* (Table 2's column legend).  An
+:class:`ActionProfile` is the set of actions a particular NF type
+performs; the orchestrator's dependency analysis (§4.1) works purely on
+profiles, never on NF code.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from ..net.fields import Field
+
+__all__ = ["Verb", "Action", "ActionProfile"]
+
+
+class Verb(enum.Enum):
+    """The five packet-operation verbs of Table 2."""
+
+    READ = "read"
+    WRITE = "write"
+    ADD = "add"
+    REMOVE = "remove"
+    DROP = "drop"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_structural(self) -> bool:
+        """Add/Remove change the packet layout rather than field values."""
+        return self in (Verb.ADD, Verb.REMOVE)
+
+
+class Action:
+    """One (verb, field) pair, e.g. ``Write(DIP)`` or ``Drop``.
+
+    Drop carries no field (it applies to the whole packet); structural
+    verbs name the header unit they add/remove (e.g. ``AH_HEADER``).
+    """
+
+    __slots__ = ("verb", "field")
+
+    def __init__(self, verb: Verb, field: Optional[Field] = None):
+        if verb is Verb.DROP:
+            if field is not None:
+                raise ValueError("Drop takes no field")
+        elif field is None:
+            raise ValueError(f"{verb} requires a field")
+        self.verb = verb
+        self.field = field
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Action)
+            and self.verb is other.verb
+            and self.field is other.field
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.verb, self.field))
+
+    def __repr__(self) -> str:
+        if self.verb is Verb.DROP:
+            return "Drop"
+        return f"{self.verb.value.capitalize()}({self.field})"
+
+    def conflicts_same_field(self, other: "Action") -> bool:
+        """True when both actions touch overlapping bytes."""
+        if self.field is None or other.field is None:
+            return False
+        return self.field.overlaps(other.field)
+
+
+class ActionProfile:
+    """The full action set of one NF type.
+
+    Parameters
+    ----------
+    name:
+        NF type name, lower-case (e.g. ``"firewall"``).
+    actions:
+        Iterable of :class:`Action`.
+    deployment_share:
+        The NF's share of deployments in enterprise networks (Table 2's
+        "%" column); ``None`` when the paper gives no figure.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        actions: Iterable[Action],
+        deployment_share: Optional[float] = None,
+    ):
+        if not name:
+            raise ValueError("profile needs a name")
+        if deployment_share is not None and not 0 <= deployment_share <= 1:
+            raise ValueError("deployment share must be a fraction in [0, 1]")
+        self.name = name.lower()
+        self.actions: FrozenSet[Action] = frozenset(actions)
+        self.deployment_share = deployment_share
+
+    # ------------------------------------------------------------ queries
+    def fields_with(self, verb: Verb) -> Set[Field]:
+        return {a.field for a in self.actions if a.verb is verb and a.field}
+
+    @property
+    def reads(self) -> Set[Field]:
+        return self.fields_with(Verb.READ)
+
+    @property
+    def writes(self) -> Set[Field]:
+        return self.fields_with(Verb.WRITE)
+
+    @property
+    def adds(self) -> Set[Field]:
+        return self.fields_with(Verb.ADD)
+
+    @property
+    def removes(self) -> Set[Field]:
+        return self.fields_with(Verb.REMOVE)
+
+    @property
+    def may_drop(self) -> bool:
+        return any(a.verb is Verb.DROP for a in self.actions)
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when the NF never alters the packet (may still drop)."""
+        return not any(
+            a.verb in (Verb.WRITE, Verb.ADD, Verb.REMOVE) for a in self.actions
+        )
+
+    def action_pairs(self, other: "ActionProfile") -> Iterator[Tuple[Action, Action]]:
+        """All (a1, a2) combinations, a1 from self, a2 from ``other``.
+
+        This is the iteration space of Algorithm 1's main loop.
+        """
+        for a1 in sorted(self.actions, key=repr):
+            for a2 in sorted(other.actions, key=repr):
+                yield a1, a2
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ActionProfile)
+            and self.name == other.name
+            and self.actions == other.actions
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.actions))
+
+    def __repr__(self) -> str:
+        acts = ", ".join(sorted(repr(a) for a in self.actions))
+        return f"ActionProfile({self.name}: {acts})"

@@ -1,0 +1,148 @@
+"""The NF action inspector (§5.4): derive action profiles from NF code.
+
+The paper ships "an inspection tool ... that can inspect NF codes to find
+the usage of interfaces that operate on packets, including reading,
+writing, dropping and adding/removing bits", so operators can register
+new NFs without hand-writing Table 2 rows.  The paper's tool analyses
+DPDK packet-struct accesses in C; ours statically analyses Python NF
+source with :mod:`ast`, recognising this repository's packet API:
+
+===============================================  =======================
+Pattern in NF source                             Derived action
+===============================================  =======================
+``pkt.ipv4.src_ip`` (load)                       Read(SIP)
+``pkt.ipv4.src_ip = ...`` (store)                Write(SIP)
+``pkt.tcp.dst_port`` / ``pkt.udp.dst_port``      Read/Write(DPORT)
+``pkt.ipv4.ttl`` / ``.dscp``                     Read/Write(TTL/DSCP)
+``pkt.payload`` (load)                           Read(PAYLOAD)
+``pkt.set_payload(...)``                         Write(PAYLOAD)
+``ctx.drop()`` / ``self.drop_packet(...)``       Drop
+``insert_ah(pkt, ...)``                          Add(AH_HEADER)
+``remove_ah(pkt, ...)``                          Remove(AH_HEADER)
+``pkt.five_tuple()``                             Read(SIP,DIP,SPORT,DPORT)
+===============================================  =======================
+
+Augmented assignments (``pkt.ipv4.ttl -= 1``) count as read+write.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect as _inspect
+import textwrap
+from typing import Optional, Set, Union
+
+from ..net.fields import Field
+from .actions import Action, ActionProfile, Verb
+
+__all__ = ["inspect_nf_source", "inspect_nf", "InspectionError"]
+
+
+class InspectionError(ValueError):
+    """Raised when NF source cannot be parsed/analysed."""
+
+
+# Attribute name -> field, for the header-view properties.
+_ATTR_FIELDS = {
+    "src_ip": Field.SIP,
+    "src_ip_int": Field.SIP,
+    "dst_ip": Field.DIP,
+    "dst_ip_int": Field.DIP,
+    "src_port": Field.SPORT,
+    "dst_port": Field.DPORT,
+    "ttl": Field.TTL,
+    "dscp": Field.DSCP,
+    "payload": Field.PAYLOAD,
+}
+
+_FIVE_TUPLE_FIELDS = (Field.SIP, Field.DIP, Field.SPORT, Field.DPORT)
+
+
+class _ActionCollector(ast.NodeVisitor):
+    """Walks an AST and accumulates packet actions."""
+
+    def __init__(self):
+        self.actions: Set[Action] = set()
+
+    # -- attribute loads/stores ------------------------------------------
+    def _field_of(self, node: ast.Attribute) -> Optional[Field]:
+        return _ATTR_FIELDS.get(node.attr)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        field = self._field_of(node)
+        if field is not None:
+            if isinstance(node.ctx, ast.Load):
+                self.actions.add(Action(Verb.READ, field))
+            elif isinstance(node.ctx, ast.Store):
+                self.actions.add(Action(Verb.WRITE, field))
+            elif isinstance(node.ctx, ast.Del):  # pragma: no cover - odd NF
+                self.actions.add(Action(Verb.WRITE, field))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # x.ttl -= 1 reads and writes.
+        if isinstance(node.target, ast.Attribute):
+            field = self._field_of(node.target)
+            if field is not None:
+                self.actions.add(Action(Verb.READ, field))
+                self.actions.add(Action(Verb.WRITE, field))
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._callee_name(node)
+        if name == "set_payload":
+            self.actions.add(Action(Verb.WRITE, Field.PAYLOAD))
+        elif name in ("drop", "drop_packet"):
+            self.actions.add(Action(Verb.DROP))
+        elif name == "insert_ah":
+            self.actions.add(Action(Verb.ADD, Field.AH_HEADER))
+        elif name == "remove_ah":
+            self.actions.add(Action(Verb.REMOVE, Field.AH_HEADER))
+        elif name == "five_tuple":
+            for field in _FIVE_TUPLE_FIELDS:
+                self.actions.add(Action(Verb.READ, field))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _callee_name(node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return ""
+
+
+def inspect_nf_source(
+    source: str,
+    name: str,
+    deployment_share: Optional[float] = None,
+) -> ActionProfile:
+    """Analyse NF source text and return its action profile."""
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError as exc:
+        raise InspectionError(f"cannot parse NF source for {name!r}: {exc}") from exc
+    collector = _ActionCollector()
+    collector.visit(tree)
+    return ActionProfile(name, collector.actions, deployment_share=deployment_share)
+
+
+def inspect_nf(
+    nf: Union[type, object, callable],
+    name: Optional[str] = None,
+    deployment_share: Optional[float] = None,
+) -> ActionProfile:
+    """Analyse a live NF class/instance/function.
+
+    For classes and instances, all methods are analysed (an NF may touch
+    packets outside ``process``).
+    """
+    target = nf if _inspect.isclass(nf) or _inspect.isfunction(nf) else type(nf)
+    try:
+        source = _inspect.getsource(target)
+    except (OSError, TypeError) as exc:
+        raise InspectionError(f"cannot fetch source of {target!r}: {exc}") from exc
+    profile_name = name or getattr(target, "KIND", None) or target.__name__.lower()
+    return inspect_nf_source(source, profile_name, deployment_share)

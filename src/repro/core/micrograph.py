@@ -1,0 +1,210 @@
+"""Intermediate representations and micrographs (§4.4.1-§4.4.2, Fig. 2).
+
+The compiler in :mod:`repro.core.compiler` produces the final graph via
+closure + layering; this module exposes the paper's *intermediate*
+artifacts for inspection and tooling, exactly as Fig. 2 draws them:
+
+1. **Transform** (§4.4.1): every rule becomes an IR block --
+   :class:`PositionIR` for Position rules (``string NF_name; int
+   position``) and :class:`PairIR` for Order/Priority rules (``high/low
+   names; bool is_parallelizable; List<Action> conflicting_actions``).
+2. **Compile** (§4.4.2): IRs with overlapping NFs concatenate into
+   micrographs, classified as *Single NF* (pinned or free NFs), *Tree*
+   (contains an unparallelizable pair), or *Plain Parallelism* (every
+   pair parallelizable).
+
+``decompose`` returns both, and tests assert the decomposition is
+consistent with the compiled final graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .action_table import ActionTable, default_action_table
+from .dependency import (
+    DEFAULT_DEPENDENCY_TABLE,
+    DependencyTable,
+    identify_parallelism,
+)
+from .policy import Policy, Position
+
+__all__ = [
+    "PositionIR",
+    "PairIR",
+    "MicrographKind",
+    "Micrograph",
+    "Decomposition",
+    "decompose",
+]
+
+
+@dataclass
+class PositionIR:
+    """Fig. 2's left IR block: one pinned NF."""
+
+    nf: str
+    position: Position
+
+
+@dataclass
+class PairIR:
+    """Fig. 2's right IR block: the relationship between two NFs.
+
+    ``high`` is the merge-priority winner (the later NF of an Order
+    rule, or the Priority rule's left side).
+    """
+
+    high: str
+    low: str
+    is_parallelizable: bool
+    conflicting_actions: List[Tuple] = field(default_factory=list)
+    origin: str = "order"  # "order" | "priority"
+
+    @property
+    def needs_copy(self) -> bool:
+        return self.is_parallelizable and bool(self.conflicting_actions)
+
+
+class MicrographKind(enum.Enum):
+    SINGLE = "single"
+    TREE = "tree"
+    PLAIN_PARALLELISM = "plain-parallelism"
+
+
+@dataclass
+class Micrograph:
+    """A connected group of IRs (§4.4.2)."""
+
+    kind: MicrographKind
+    members: List[str]
+    #: unparallelizable (sequential) edges inside the group.
+    hard_edges: List[Tuple[str, str]] = field(default_factory=list)
+    #: total packet copies the group's conflicts require.
+    copies_needed: int = 0
+
+    def __contains__(self, nf: str) -> bool:
+        return nf in self.members
+
+
+@dataclass
+class Decomposition:
+    """Everything §4.4.1-2 produce, before the final merge step."""
+
+    position_irs: List[PositionIR]
+    pair_irs: List[PairIR]
+    micrographs: List[Micrograph]
+
+    def micrograph_of(self, nf: str) -> Micrograph:
+        for micrograph in self.micrographs:
+            if nf in micrograph:
+                return micrograph
+        raise KeyError(nf)
+
+
+def _transform(
+    policy: Policy, table: ActionTable, dt: DependencyTable
+) -> Tuple[List[PositionIR], List[PairIR]]:
+    """§4.4.1: rules -> intermediate representations."""
+    position_irs = [
+        PositionIR(rule.nf, rule.position) for rule in policy.position_rules()
+    ]
+    pair_irs: List[PairIR] = []
+    for rule in policy.order_rules():
+        verdict = identify_parallelism(
+            table.fetch(policy.kind_of(rule.before)),
+            table.fetch(policy.kind_of(rule.after)),
+            dt,
+        )
+        pair_irs.append(
+            PairIR(
+                high=rule.after,  # "the NF with the back order is higher"
+                low=rule.before,
+                is_parallelizable=verdict.parallelizable,
+                conflicting_actions=list(verdict.conflicting_actions),
+                origin="order",
+            )
+        )
+    for rule in policy.priority_rules():
+        verdict = identify_parallelism(
+            table.fetch(policy.kind_of(rule.low)),
+            table.fetch(policy.kind_of(rule.high)),
+            dt,
+        )
+        pair_irs.append(
+            PairIR(
+                high=rule.high,
+                low=rule.low,
+                # Priority pairs are "directly parallelizable" (§4.1).
+                is_parallelizable=True,
+                conflicting_actions=list(verdict.conflicting_actions),
+                origin="priority",
+            )
+        )
+    return position_irs, pair_irs
+
+
+def decompose(
+    policy: Policy,
+    table: Optional[ActionTable] = None,
+    dt: DependencyTable = DEFAULT_DEPENDENCY_TABLE,
+) -> Decomposition:
+    """Run §4.4.1-2: IRs, then micrographs by overlapping-NF union."""
+    table = table or default_action_table()
+    position_irs, pair_irs = _transform(policy, table, dt)
+
+    pinned = {ir.nf for ir in position_irs}
+
+    # Union-find over pair IRs (pinned NFs stay out: they become the
+    # head/tail singles of §4.4.3).
+    parent: Dict[str, str] = {}
+
+    def find(name: str) -> str:
+        parent.setdefault(name, name)
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    def union(a: str, b: str) -> None:
+        parent[find(a)] = find(b)
+
+    for ir in pair_irs:
+        if ir.high in pinned or ir.low in pinned:
+            continue
+        union(ir.high, ir.low)
+
+    groups: Dict[str, List[str]] = {}
+    for name in policy.nf_names():
+        if name in pinned:
+            continue
+        groups.setdefault(find(name), []).append(name)
+
+    micrographs: List[Micrograph] = []
+    for nf in sorted(pinned):
+        micrographs.append(Micrograph(MicrographKind.SINGLE, [nf]))
+
+    for members in groups.values():
+        members = sorted(members)
+        if len(members) == 1:
+            micrographs.append(Micrograph(MicrographKind.SINGLE, members))
+            continue
+        relevant = [
+            ir for ir in pair_irs if ir.high in members and ir.low in members
+        ]
+        hard = [
+            (ir.low, ir.high) for ir in relevant if not ir.is_parallelizable
+        ]
+        copies = len({
+            ir.high for ir in relevant if ir.needs_copy and ir.is_parallelizable
+        })
+        kind = (
+            MicrographKind.TREE if hard else MicrographKind.PLAIN_PARALLELISM
+        )
+        micrographs.append(
+            Micrograph(kind, members, hard_edges=hard, copies_needed=copies)
+        )
+
+    return Decomposition(position_irs, pair_irs, micrographs)

@@ -1,0 +1,112 @@
+"""The NFP orchestrator facade (§4): policies in, installed tables out.
+
+Ties the pieces together the way Fig. 3's control plane does:
+
+1. operators submit policies (objects or DSL text);
+2. the compiler turns each policy into a service graph;
+3. a fresh MID is allocated (20 bits -> up to 1M graphs) and the
+   CT/FT/MO tables are built;
+4. the tables are handed to whatever infrastructure is attached (the
+   simulated NFP server's chaining manager, §5).
+
+It also owns the NF action table and exposes the §5.4 registration flow
+for new NFs (manual profile or inspector-derived).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .action_table import ActionTable, default_action_table
+from .actions import ActionProfile
+from .compiler import CompilationResult, NFPCompiler
+from .dependency import DEFAULT_DEPENDENCY_TABLE, DependencyTable
+from .inspector import inspect_nf
+from .policy import Policy
+from .policy_dsl import parse_policy
+from .tables import TableSet, build_tables
+
+__all__ = ["Orchestrator", "DeployedGraph"]
+
+_MAX_MID = (1 << 20) - 1
+
+
+class DeployedGraph:
+    """A compiled graph bound to a MID with its generated tables."""
+
+    def __init__(self, mid: int, result: CompilationResult, tables: TableSet):
+        self.mid = mid
+        self.result = result
+        self.tables = tables
+
+    @property
+    def graph(self):
+        return self.result.graph
+
+    def __repr__(self) -> str:
+        return f"DeployedGraph(mid={self.mid}, {self.graph.describe()!r})"
+
+
+class Orchestrator:
+    """Compiles policies and manages deployed service graphs."""
+
+    def __init__(
+        self,
+        action_table: Optional[ActionTable] = None,
+        dependency_table: DependencyTable = DEFAULT_DEPENDENCY_TABLE,
+    ):
+        self.action_table = action_table or default_action_table()
+        self.compiler = NFPCompiler(self.action_table, dependency_table)
+        self._deployed: Dict[int, DeployedGraph] = {}
+        self._next_mid = 1
+
+    # -------------------------------------------------------- NF lifecycle
+    def register_profile(self, profile: ActionProfile, replace: bool = False) -> None:
+        """Register a manually written action profile (§4.3)."""
+        self.action_table.register(profile, replace=replace)
+
+    def register_nf(
+        self, nf: Union[type, object], name: Optional[str] = None, replace: bool = False
+    ) -> ActionProfile:
+        """Register an NF by inspecting its code (§5.4)."""
+        profile = inspect_nf(nf, name=name)
+        self.action_table.register(profile, replace=replace)
+        return profile
+
+    # ----------------------------------------------------------- compiling
+    def compile(self, policy: Union[Policy, str]) -> CompilationResult:
+        """Compile a policy (object or DSL text) without deploying it."""
+        if isinstance(policy, str):
+            policy = parse_policy(policy)
+        return self.compiler.compile(policy)
+
+    def deploy(
+        self, policy: Union[Policy, str], match: object = "*"
+    ) -> DeployedGraph:
+        """Compile a policy, allocate a MID, and build its tables."""
+        result = self.compile(policy)
+        mid = self._allocate_mid()
+        tables = build_tables(result.graph, mid, match=match)
+        deployed = DeployedGraph(mid, result, tables)
+        self._deployed[mid] = deployed
+        return deployed
+
+    def undeploy(self, mid: int) -> None:
+        if mid not in self._deployed:
+            raise KeyError(f"no deployed graph with MID {mid}")
+        del self._deployed[mid]
+
+    def deployed(self) -> List[DeployedGraph]:
+        return list(self._deployed.values())
+
+    def get(self, mid: int) -> DeployedGraph:
+        return self._deployed[mid]
+
+    def _allocate_mid(self) -> int:
+        while self._next_mid in self._deployed:
+            self._next_mid += 1
+        if self._next_mid > _MAX_MID:
+            raise RuntimeError("MID space exhausted (20 bits)")
+        mid = self._next_mid
+        self._next_mid += 1
+        return mid

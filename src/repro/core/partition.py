@@ -1,0 +1,98 @@
+"""Cross-server graph partitioning (§7 "NFP Scalability", future work).
+
+When a graph has more NFs than one server has cores, the paper sketches
+the constraint for splitting it: "each server sends only one copy of a
+packet to the next server", so cross-server parallelism never inflates
+network bandwidth.
+
+We implement that sketch: a service graph is cut at *stage boundaries*
+(a stage never spans servers, since its NFs exchange shared-memory
+references), greedily packing consecutive stages onto servers under a
+per-server core budget.  Because copies other than version 1 live and
+die within a single stage (they are merged into v1 by the stage's
+merge semantics before any cross-server hop), every inter-server link
+carries exactly one packet copy -- the paper's constraint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .graph import ServiceGraph, Stage
+
+__all__ = ["ServerSlice", "partition_graph", "PartitionError"]
+
+#: Cores a server must reserve beyond NFs: classifier + merger (§6).
+_OVERHEAD_CORES = 2
+
+
+class PartitionError(ValueError):
+    """Raised when a graph cannot fit the given servers."""
+
+
+class ServerSlice:
+    """The stages assigned to one server, with core accounting."""
+
+    def __init__(self, server_index: int, stages: Sequence[Stage]):
+        self.server_index = server_index
+        self.stages = list(stages)
+
+    @property
+    def nf_cores(self) -> int:
+        return sum(len(stage) for stage in self.stages)
+
+    @property
+    def total_cores(self) -> int:
+        return self.nf_cores + _OVERHEAD_CORES
+
+    def nf_names(self) -> List[str]:
+        return [e.node.name for stage in self.stages for e in stage]
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerSlice(server={self.server_index}, "
+            f"nfs={self.nf_names()}, cores={self.total_cores})"
+        )
+
+
+def partition_graph(
+    graph: ServiceGraph, cores_per_server: int, max_servers: int = 64
+) -> List[ServerSlice]:
+    """Split ``graph`` across servers at stage boundaries.
+
+    Greedy first-fit over consecutive stages.  Raises
+    :class:`PartitionError` when a single stage needs more NF cores than
+    one server offers, or when ``max_servers`` is exceeded.
+
+    The returned slices satisfy the paper's bandwidth constraint by
+    construction: only version 1 crosses a slice boundary.
+    """
+    if cores_per_server <= _OVERHEAD_CORES:
+        raise PartitionError(
+            f"need more than {_OVERHEAD_CORES} cores per server "
+            "(classifier + merger overhead)"
+        )
+    budget = cores_per_server - _OVERHEAD_CORES
+
+    slices: List[ServerSlice] = []
+    current: List[Stage] = []
+    used = 0
+    for stage in graph.stages:
+        need = len(stage)
+        if need > budget:
+            raise PartitionError(
+                f"stage with {need} parallel NFs cannot fit a server "
+                f"offering {budget} NF cores"
+            )
+        if used + need > budget:
+            slices.append(ServerSlice(len(slices), current))
+            current, used = [], 0
+        current.append(stage)
+        used += need
+    if current:
+        slices.append(ServerSlice(len(slices), current))
+    if len(slices) > max_servers:
+        raise PartitionError(
+            f"graph needs {len(slices)} servers, more than max_servers={max_servers}"
+        )
+    return slices

@@ -1,0 +1,141 @@
+"""Textual policy language: parse the paper's rule syntax.
+
+Operators write policies in exactly the notation of §3 / Table 1::
+
+    # north-south chain of Fig. 13
+    NF vpn: vpn
+    NF mon: monitor
+    Order(vpn, before, mon)
+    Order(mon, before, firewall)
+    Order(firewall, before, loadbalancer)
+
+    Position(vpn, first)
+    Priority(ips > firewall)
+
+Grammar (case-insensitive keywords, ``#`` comments):
+
+* ``NF <name>: <kind>`` -- declare an instance (optional; a bare name
+  used in a rule implicitly declares an instance whose kind is the name).
+* ``Order(<nf>, before, <nf>)``
+* ``Priority(<nf> > <nf>)``
+* ``Position(<nf>, first|last)``
+* ``Assign(<nf>, <index>)`` -- the *traditional* description (Table 1
+  row 1); consecutive indices are translated into Order rules.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .policy import NFSpec, OrderRule, Policy, PositionRule, PriorityRule
+
+__all__ = ["parse_policy", "PolicySyntaxError", "format_policy"]
+
+
+class PolicySyntaxError(ValueError):
+    """A malformed policy line, annotated with its line number."""
+
+    def __init__(self, lineno: int, line: str, reason: str):
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+_NF_DECL = re.compile(r"^nf\s+(?P<name>[\w.-]+)\s*:\s*(?P<kind>[\w.-]+)$", re.I)
+_ORDER = re.compile(
+    r"^order\s*\(\s*(?P<a>[\w.-]+)\s*,\s*before\s*,\s*(?P<b>[\w.-]+)\s*\)$", re.I
+)
+_PRIORITY = re.compile(
+    r"^priority\s*\(\s*(?P<a>[\w.-]+)\s*>\s*(?P<b>[\w.-]+)\s*\)$", re.I
+)
+_POSITION = re.compile(
+    r"^position\s*\(\s*(?P<nf>[\w.-]+)\s*,\s*(?P<pos>first|last)\s*\)$", re.I
+)
+_ASSIGN = re.compile(
+    r"^assign\s*\(\s*(?P<nf>[\w.-]+)\s*,\s*(?P<idx>\d+)\s*\)$", re.I
+)
+
+
+def parse_policy(text: str, name: str = "policy") -> Policy:
+    """Parse policy text into a :class:`~repro.core.policy.Policy`.
+
+    ``Assign`` rules (the traditional chain description) are collected
+    and translated to Order rules over consecutive positions, preserving
+    NFP's backward compatibility with sequential specifications.
+    """
+    policy = Policy(name=name)
+    assigns: List[Tuple[int, str]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        match = _NF_DECL.match(line)
+        if match:
+            policy.declare(NFSpec(match["name"], match["kind"]))
+            continue
+
+        match = _ORDER.match(line)
+        if match:
+            try:
+                policy.add(OrderRule(match["a"], match["b"]))
+            except ValueError as exc:
+                raise PolicySyntaxError(lineno, raw, str(exc)) from None
+            continue
+
+        match = _PRIORITY.match(line)
+        if match:
+            try:
+                policy.add(PriorityRule(match["a"], match["b"]))
+            except ValueError as exc:
+                raise PolicySyntaxError(lineno, raw, str(exc)) from None
+            continue
+
+        match = _POSITION.match(line)
+        if match:
+            policy.add(PositionRule(match["nf"], match["pos"]))
+            continue
+
+        match = _ASSIGN.match(line)
+        if match:
+            assigns.append((int(match["idx"]), match["nf"]))
+            continue
+
+        raise PolicySyntaxError(lineno, raw, "unrecognised rule")
+
+    if assigns:
+        _translate_assigns(policy, assigns)
+    return policy
+
+
+def _translate_assigns(policy: Policy, assigns: List[Tuple[int, str]]) -> None:
+    """Turn ``Assign(NF, i)`` positions into adjacent Order rules."""
+    by_index: Dict[int, str] = {}
+    for idx, nf in assigns:
+        if idx in by_index:
+            raise ValueError(
+                f"Assign index {idx} used by both {by_index[idx]!r} and {nf!r}"
+            )
+        by_index[idx] = nf
+    ordered = [by_index[i] for i in sorted(by_index)]
+    for left, right in zip(ordered, ordered[1:]):
+        policy.add(OrderRule(left, right))
+
+
+def format_policy(policy: Policy) -> str:
+    """Render a policy back into the textual syntax (round-trippable)."""
+    lines: List[str] = []
+    for spec in policy.instances.values():
+        if spec.name != spec.kind:
+            lines.append(f"NF {spec.name}: {spec.kind}")
+    for rule in policy.rules:
+        if isinstance(rule, OrderRule):
+            lines.append(f"Order({rule.before}, before, {rule.after})")
+        elif isinstance(rule, PriorityRule):
+            lines.append(f"Priority({rule.high} > {rule.low})")
+        elif isinstance(rule, PositionRule):
+            lines.append(f"Position({rule.nf}, {rule.position.value})")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Action-profile serialization: the operator registration format.
+
+§4.3: "network operators could generate an action profile of the NF
+manually or with the analysis tool provided by NFP, and register it
+into Table 2."  The manual path needs a concrete format; we use a
+plain dict/JSON structure::
+
+    {
+      "name": "my-nf",
+      "deployment_share": 0.05,
+      "reads":   ["sip", "dip"],
+      "writes":  ["ttl"],
+      "adds":    [],
+      "removes": [],
+      "drop":    true
+    }
+
+Round-trips losslessly through :func:`profile_to_dict` /
+:func:`profile_from_dict`; :func:`save_action_table` /
+:func:`load_action_table` persist an entire table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..net.fields import Field
+from .action_table import ActionTable
+from .actions import Action, ActionProfile, Verb
+
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_action_table",
+    "load_action_table",
+]
+
+
+def profile_to_dict(profile: ActionProfile) -> Dict:
+    """Serialise a profile to a JSON-compatible dict."""
+    return {
+        "name": profile.name,
+        "deployment_share": profile.deployment_share,
+        "reads": sorted(str(f) for f in profile.reads),
+        "writes": sorted(str(f) for f in profile.writes),
+        "adds": sorted(str(f) for f in profile.adds),
+        "removes": sorted(str(f) for f in profile.removes),
+        "drop": profile.may_drop,
+    }
+
+
+def profile_from_dict(data: Dict) -> ActionProfile:
+    """Parse a profile dict; raises ``ValueError`` on malformed input."""
+    try:
+        name = data["name"]
+    except KeyError:
+        raise ValueError("profile dict needs a 'name'") from None
+    actions: List[Action] = []
+    for key, verb in (
+        ("reads", Verb.READ),
+        ("writes", Verb.WRITE),
+        ("adds", Verb.ADD),
+        ("removes", Verb.REMOVE),
+    ):
+        for token in data.get(key, ()):
+            actions.append(Action(verb, Field.parse(token)))
+    if data.get("drop"):
+        actions.append(Action(Verb.DROP))
+    return ActionProfile(
+        name, actions, deployment_share=data.get("deployment_share")
+    )
+
+
+def save_action_table(table: ActionTable, path: Union[str, Path]) -> None:
+    """Write every profile in the table as a JSON document."""
+    payload = {"profiles": [profile_to_dict(p) for p in table]}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_action_table(path: Union[str, Path]) -> ActionTable:
+    """Load an action table previously written by :func:`save_action_table`."""
+    payload = json.loads(Path(path).read_text())
+    table = ActionTable()
+    for entry in payload.get("profiles", ()):
+        table.register(profile_from_dict(entry))
+    return table

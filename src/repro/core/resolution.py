@@ -1,0 +1,112 @@
+"""Policy conflict *resolution* (§3's future work, beyond detection).
+
+`check_policy` finds conflicts; this module repairs them.  Strategy
+(following the PGA-style "most recent / most specific intent wins"
+heuristics the paper cites):
+
+* **Order cycles** — drop the latest-added Order rule on the cycle
+  (earlier intents are treated as more authoritative).
+* **Position clashes** — keep the first pin per NF and per end; drop
+  later contradicting pins.
+* **Order/Position contradictions** — Position rules are stronger
+  intents ("requires all packets to be processed by the VPN first"),
+  so the contradicting Order rule is dropped.
+* **Priority contradictions** — keep the first of a contradictory
+  pair.
+
+Every repair is reported so the operator can audit what was discarded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .conflicts import check_policy
+from .policy import OrderRule, Policy, Position, PositionRule, PriorityRule
+
+__all__ = ["ResolutionReport", "resolve_policy"]
+
+
+class ResolutionReport:
+    """What :func:`resolve_policy` changed."""
+
+    def __init__(self, policy: Policy, dropped: List[str]):
+        self.policy = policy
+        self.dropped = dropped
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing had to be dropped."""
+        return not self.dropped
+
+    def __repr__(self) -> str:
+        return f"ResolutionReport(dropped={len(self.dropped)} rules)"
+
+
+def resolve_policy(policy: Policy, max_rounds: int = 100) -> ResolutionReport:
+    """Return a conflict-free copy of ``policy`` plus a repair log."""
+    rules = list(policy.rules)
+    dropped: List[str] = []
+
+    for _ in range(max_rounds):
+        candidate = Policy(instances=policy.instances.values(),
+                           name=policy.name)
+        for rule in rules:
+            candidate.add(rule)
+        report = check_policy(candidate)
+        if report.ok:
+            return ResolutionReport(candidate, dropped)
+        victim_index = _pick_victim(rules, report.errors)
+        dropped.append(f"dropped {rules[victim_index]!r}: {report.errors[0]}")
+        del rules[victim_index]
+    raise RuntimeError("policy resolution did not converge")
+
+
+def _pick_victim(rules: List, errors: List[str]) -> int:
+    """Choose the rule to drop for the first reported error."""
+    error = errors[0]
+
+    if "cycle" in error:
+        cycle_nodes = set(error.split(": ", 1)[1].split(" -> "))
+        # Latest-added Order rule fully inside the cycle.
+        for index in range(len(rules) - 1, -1, -1):
+            rule = rules[index]
+            if isinstance(rule, OrderRule) and {rule.before, rule.after} <= cycle_nodes:
+                return index
+
+    if "pinned both first and last" in error or "multiple NFs pinned" in error:
+        seen: Set[Tuple] = set()
+        # Latest Position rule that re-pins an NF or an end.
+        for index in range(len(rules) - 1, -1, -1):
+            rule = rules[index]
+            if isinstance(rule, PositionRule):
+                return index
+
+    if "pinned first but ordered after" in error or \
+            "pinned last but ordered before" in error:
+        # Drop the contradicting Order rule (Position wins).
+        pinned_first = {
+            r.nf for r in rules
+            if isinstance(r, PositionRule) and r.position is Position.FIRST
+        }
+        pinned_last = {
+            r.nf for r in rules
+            if isinstance(r, PositionRule) and r.position is Position.LAST
+        }
+        for index in range(len(rules) - 1, -1, -1):
+            rule = rules[index]
+            if isinstance(rule, OrderRule) and (
+                rule.after in pinned_first or rule.before in pinned_last
+            ):
+                return index
+
+    if "contradictory priorities" in error:
+        seen_pairs: Set[Tuple[str, str]] = set()
+        for index, rule in enumerate(rules):
+            if isinstance(rule, PriorityRule):
+                if (rule.low, rule.high) in seen_pairs:
+                    return index
+                seen_pairs.add((rule.high, rule.low))
+
+    # Fallback: drop the last rule.
+    return len(rules) - 1

@@ -1,0 +1,129 @@
+"""NF scaling analysis (§7): sizing instance counts for a target rate.
+
+"NFP can support NF scaling inside one server by allocating remaining
+CPU cores to new NF instances with new IDs and constructing service
+graphs containing these new instances."  This module does the sizing
+arithmetic the orchestrator needs before doing that: given a compiled
+graph, the calibrated timing model, and a target rate, how many
+instances of each component are required, and does the server have the
+cores?
+
+The analysis uses the same per-core demand model as
+:func:`repro.eval.model.nfp_capacity`: a component with per-packet
+demand ``d`` µs sustains ``1/d`` Mpps per instance, so a target rate
+``R`` needs ``ceil(R * d)`` instances (flows are RSS-split across
+instances, which preserves per-flow ordering).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.params import SimParams
+from .graph import ServiceGraph
+
+__all__ = ["ScalePlan", "plan_scale_out"]
+
+
+@dataclass
+class ScalePlan:
+    """Instance counts per component to sustain ``target_mpps``."""
+
+    target_mpps: float
+    achievable_mpps: float
+    instances: Dict[str, int] = field(default_factory=dict)
+    #: components that cannot be replicated (the NIC).
+    limiting: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.limiting is None
+
+    @property
+    def total_nf_cores(self) -> int:
+        return sum(self.instances.values())
+
+    def scaled_components(self) -> List[str]:
+        return sorted(n for n, count in self.instances.items() if count > 1)
+
+    def __str__(self) -> str:
+        status = "feasible" if self.feasible else f"limited by {self.limiting}"
+        parts = ", ".join(f"{n}x{c}" for n, c in sorted(self.instances.items()))
+        return (
+            f"ScalePlan({self.target_mpps:.2f} Mpps -> "
+            f"{self.achievable_mpps:.2f} Mpps, {status}: {parts})"
+        )
+
+
+def plan_scale_out(
+    graph: ServiceGraph,
+    params: SimParams,
+    target_mpps: float,
+    packet_size: int = 64,
+    available_cores: Optional[int] = None,
+    num_mergers: int = 1,
+) -> ScalePlan:
+    """Compute the instance counts needed to sustain ``target_mpps``.
+
+    Components (classifier, every NF, the merger pool) are replicated
+    independently; the NIC line rate is the only hard ceiling.  When
+    ``available_cores`` is given, the plan is truncated to what fits
+    and ``achievable_mpps`` reports the resulting best rate.
+    """
+    if target_mpps <= 0:
+        raise ValueError("target rate must be positive")
+    from ..eval.model import nfp_capacity
+
+    line_rate = params.line_rate_mpps(packet_size)
+    capacity = nfp_capacity(
+        graph, params, num_mergers=num_mergers, packet_size=packet_size
+    )
+
+    if target_mpps > line_rate:
+        return ScalePlan(
+            target_mpps=target_mpps,
+            achievable_mpps=line_rate,
+            instances={name: 1 for name in capacity.demands},
+            limiting="nic",
+        )
+
+    instances: Dict[str, int] = {}
+    for name, demand in capacity.demands.items():
+        instances[name] = max(1, math.ceil(target_mpps * demand - 1e-9))
+
+    plan = ScalePlan(
+        target_mpps=target_mpps,
+        achievable_mpps=min(
+            line_rate,
+            min(
+                instances[name] / demand if demand > 0 else float("inf")
+                for name, demand in capacity.demands.items()
+            ),
+        ),
+        instances=instances,
+    )
+
+    if available_cores is not None and plan.total_nf_cores > available_cores:
+        # Greedily strip instances from the least-pressured components
+        # until the plan fits, then report the degraded rate.
+        while plan.total_nf_cores > available_cores:
+            candidates = [n for n, c in plan.instances.items() if c > 1]
+            if not candidates:
+                break
+            # Remove where the per-instance headroom is largest.
+            slack = {
+                n: plan.instances[n] / capacity.demands[n] - target_mpps
+                for n in candidates
+            }
+            victim = max(slack, key=slack.get)
+            plan.instances[victim] -= 1
+        plan.achievable_mpps = min(
+            line_rate,
+            min(
+                plan.instances[name] / demand if demand > 0 else float("inf")
+                for name, demand in capacity.demands.items()
+            ),
+        )
+    return plan

@@ -1,0 +1,28 @@
+"""NFP infrastructure (§5): classifier, runtimes, mergers, dataplanes.
+
+Two executors share the same NF objects and merge code:
+
+* :class:`FunctionalDataplane` -- untimed reference semantics, used for
+  the §6.4 result-correctness verification;
+* :class:`NFPServer` -- the timed DES dataplane with pinned cores,
+  rings, and calibrated service times.
+"""
+
+from .chaining import ChainingManager
+from .functional import FunctionalDataplane, SequentialReference, instantiate_nfs
+from .merging import MergeError, apply_merge_ops
+from .server import FlightState, NFPServer
+from .xor_merger import XorMergeError, XorMerger
+
+__all__ = [
+    "ChainingManager",
+    "FunctionalDataplane",
+    "SequentialReference",
+    "instantiate_nfs",
+    "apply_merge_ops",
+    "MergeError",
+    "NFPServer",
+    "FlightState",
+    "XorMerger",
+    "XorMergeError",
+]

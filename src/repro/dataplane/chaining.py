@@ -1,0 +1,55 @@
+"""Chaining manager (§5, Fig. 3): holds installed tables for the server.
+
+The orchestrator pushes a :class:`~repro.core.tables.TableSet` per
+deployed graph; the chaining manager splits it -- the CT entry goes to
+the classifier, each NF runtime receives its FT slice, and the mergers
+look up total counts and MOs by MID.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.graph import ServiceGraph
+from ..core.tables import ClassificationTable, CTEntry, FTAction, TableSet
+
+__all__ = ["ChainingManager"]
+
+
+class ChainingManager:
+    """Table distribution point inside one NFP server."""
+
+    def __init__(self):
+        self.classification = ClassificationTable()
+        self._graphs: Dict[int, ServiceGraph] = {}
+        self._forwarding: Dict[int, Dict[str, List[FTAction]]] = {}
+
+    def install(self, tables: TableSet) -> None:
+        """Install a deployed graph's tables (classifier + runtimes)."""
+        self.classification.install(tables.ct_entry)
+        self._graphs[tables.mid] = tables.graph
+        self._forwarding[tables.mid] = tables.forwarding
+
+    def graph_for(self, mid: int) -> ServiceGraph:
+        try:
+            return self._graphs[mid]
+        except KeyError:
+            raise KeyError(f"no graph installed for MID {mid}") from None
+
+    def ct_entry_for(self, mid: int) -> CTEntry:
+        return self.classification.by_mid(mid)
+
+    def ft_for(self, mid: int, nf_name: str) -> List[FTAction]:
+        try:
+            return self._forwarding[mid][nf_name]
+        except KeyError:
+            raise KeyError(
+                f"no forwarding rules for NF {nf_name!r} under MID {mid}"
+            ) from None
+
+    def classify(self, key: object) -> Optional[CTEntry]:
+        """Classifier lookup: exact match key, falling back to wildcard."""
+        return self.classification.lookup(key)
+
+    def mids(self) -> List[int]:
+        return sorted(self._graphs)

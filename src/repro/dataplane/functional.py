@@ -1,0 +1,124 @@
+"""Functional (untimed) execution of service graphs.
+
+Runs a compiled :class:`~repro.core.graph.ServiceGraph` over real packet
+bytes with full NFP semantics -- versions, header-only copies, stage
+barriers, nil propagation, merging -- but no clock.  This is the
+reference the *result correctness principle* (§4.1) is verified against:
+for any policy, ``FunctionalDataplane`` output must be byte-identical to
+:class:`SequentialReference` output over the original chain (§6.4's
+replay experiment).
+
+The timed DES dataplane (:mod:`repro.dataplane.server`) shares the same
+NF objects and merge code; this module is the semantics, that one adds
+queueing and service times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.graph import ORIGINAL_VERSION, ServiceGraph
+from ..net.packet import HEADER_COPY_BYTES, Packet
+from ..nfs.base import NetworkFunction
+from .merging import apply_merge_ops
+
+__all__ = ["FunctionalDataplane", "SequentialReference", "instantiate_nfs"]
+
+
+def instantiate_nfs(graph: ServiceGraph, **kwargs) -> Dict[str, NetworkFunction]:
+    """Create one NF object per graph node, keyed by instance name.
+
+    Extra kwargs are forwarded to every constructor that accepts them
+    (commonly none are needed; tests pass custom tables).
+    """
+    from ..nfs.base import create_nf
+
+    instances: Dict[str, NetworkFunction] = {}
+    for node in graph.nodes():
+        instances[node.name] = create_nf(node.kind, name=node.name, **kwargs)
+    return instances
+
+
+class FunctionalDataplane:
+    """Synchronous executor with NFP's exact packet semantics."""
+
+    def __init__(
+        self,
+        graph: ServiceGraph,
+        nf_instances: Optional[Dict[str, NetworkFunction]] = None,
+    ):
+        self.graph = graph
+        self.nfs = nf_instances or instantiate_nfs(graph)
+        missing = [n for n in graph.nf_names() if n not in self.nfs]
+        if missing:
+            raise ValueError(f"no NF instances for graph nodes: {missing}")
+        self.processed = 0
+        self.emitted = 0
+        self.dropped = 0
+
+    def process(self, pkt: Packet) -> Optional[Packet]:
+        """Run one packet through the graph; ``None`` means dropped."""
+        self.processed += 1
+        versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
+
+        for stage_index, stage in enumerate(self.graph.stages):
+            # Copies scheduled at this stage's entry (from current v1).
+            for copy in self.graph.copies:
+                if copy.stage_index != stage_index:
+                    continue
+                base = versions[ORIGINAL_VERSION]
+                if base.nil:
+                    versions[copy.version] = base.make_nil()
+                elif copy.header_only:
+                    versions[copy.version] = base.header_copy(
+                        copy.version, HEADER_COPY_BYTES
+                    )
+                else:
+                    versions[copy.version] = base.full_copy(copy.version)
+
+            # All NFs of the stage observe the pre-stage buffers; drops
+            # take effect only after the stage (parallel semantics).
+            newly_dropped: List[int] = []
+            for entry in stage:
+                buffer = versions[entry.version]
+                if buffer.nil:
+                    continue
+                ctx = self.nfs[entry.node.name].handle(buffer)
+                if ctx.dropped:
+                    newly_dropped.append(entry.version)
+            for version in newly_dropped:
+                versions[version] = versions[version].make_nil()
+
+        merged = apply_merge_ops(versions, self.graph.merge_ops)
+        if merged is None:
+            self.dropped += 1
+        else:
+            self.emitted += 1
+        return merged
+
+    def process_many(self, packets: Iterable[Packet]) -> List[Optional[Packet]]:
+        return [self.process(pkt) for pkt in packets]
+
+
+class SequentialReference:
+    """Plain sequential chain execution -- the ground truth of §4.1."""
+
+    def __init__(self, nfs: Sequence[NetworkFunction]):
+        self.nfs = list(nfs)
+        self.processed = 0
+        self.emitted = 0
+        self.dropped = 0
+
+    def process(self, pkt: Packet) -> Optional[Packet]:
+        """Run the chain in order; a drop terminates processing."""
+        self.processed += 1
+        for nf in self.nfs:
+            ctx = nf.handle(pkt)
+            if ctx.dropped:
+                self.dropped += 1
+                return None
+        self.emitted += 1
+        return pkt
+
+    def process_many(self, packets: Iterable[Packet]) -> List[Optional[Packet]]:
+        return [self.process(pkt) for pkt in packets]

@@ -1,0 +1,122 @@
+"""Pure packet-merge semantics: apply merging operations to versions.
+
+Separated from the simulated merger so both the functional executor and
+the DES dataplane share one implementation of §5.3's merge process:
+
+* ``modify(v1.A, vk.A)`` -- overwrite field A of version 1 with the
+  value carried by version k;
+* ``add(vk.B, after, v1.IP)`` -- splice the header unit B (the AH) from
+  version k into version 1;
+* ``remove(v1.C)`` -- delete the header unit C from version 1.
+
+Fields of v1 not referenced by any operation pass through unmodified;
+fields of other versions not referenced are discarded -- exactly the
+Fig. 6 semantics.  If any collected version is nil, the packet was
+dropped by some NF and the merge yields ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..net import fields as _f
+from ..net.headers import ETH_HEADER_LEN, PROTO_AH, AhView
+from ..net.packet import Packet
+from ..core.graph import MergeOp, MergeOpKind, ORIGINAL_VERSION
+
+__all__ = ["apply_merge_ops", "MergeError"]
+
+
+class MergeError(RuntimeError):
+    """A merge operation could not be applied to the collected versions."""
+
+
+#: Modifying any of these fields invalidates the IPv4 header checksum.
+_IP_FIELDS = {_f.Field.SIP, _f.Field.DIP, _f.Field.TTL, _f.Field.DSCP}
+
+
+def apply_merge_ops(
+    versions: Dict[int, Packet], ops: Iterable[MergeOp]
+) -> Optional[Packet]:
+    """Merge packet ``versions`` into the final output packet.
+
+    ``versions`` maps version number -> the processed packet copy; it
+    must contain version 1.  Returns the merged packet (version 1's
+    buffer, modified in place), or ``None`` when any version is nil.
+    """
+    if ORIGINAL_VERSION not in versions:
+        raise MergeError("version 1 missing from merge set")
+    if any(pkt.nil for pkt in versions.values()):
+        return None
+
+    base = versions[ORIGINAL_VERSION]
+    checksum_dirty = False
+    for op in ops:
+        if op.kind is MergeOpKind.MODIFY:
+            source = _require(versions, op.src_version)
+            _f.write_field(base, op.field, _f.read_field(source, op.field))
+            if op.field in _IP_FIELDS:
+                checksum_dirty = True
+        elif op.kind is MergeOpKind.ADD:
+            source = _require(versions, op.src_version)
+            _splice_header(base, source, op.field)
+        elif op.kind is MergeOpKind.REMOVE:
+            _strip_header(base, op.field)
+        else:  # pragma: no cover - enum is closed
+            raise MergeError(f"unknown merge op kind: {op.kind}")
+    if checksum_dirty:
+        base.ipv4.update_checksum()
+    return base
+
+
+def _require(versions: Dict[int, Packet], version: Optional[int]) -> Packet:
+    try:
+        return versions[version]
+    except KeyError:
+        raise MergeError(f"merge needs version {version}, not collected") from None
+
+
+def _splice_header(base: Packet, source: Packet, field) -> None:
+    """Copy the AH unit from ``source`` into ``base`` after the IP header.
+
+    When the base already carries an AH (e.g. a second VPN hop refreshed
+    the existing header on its copy instead of stacking another), the
+    unit is replaced in place rather than inserted.
+    """
+    if field is not _f.Field.AH_HEADER:
+        raise MergeError(f"cannot splice header unit {field}")
+    if not source.has_ah:
+        raise MergeError("source version carries no AH to splice")
+    src_ip = source.ipv4
+    src_off = ETH_HEADER_LEN + src_ip.header_len
+    ah_bytes = bytes(source.buf[src_off : src_off + AhView.HEADER_LEN])
+
+    ip = base.ipv4
+    ip_end = ETH_HEADER_LEN + ip.header_len
+    if base.has_ah:
+        base.buf[ip_end : ip_end + AhView.HEADER_LEN] = ah_bytes
+        return
+    base.buf[ip_end:ip_end] = ah_bytes
+    ip = base.ipv4
+    ip.protocol = PROTO_AH
+    ip.total_length = ip.total_length + AhView.HEADER_LEN
+    ip.update_checksum()
+    base.wire_len += AhView.HEADER_LEN
+
+
+def _strip_header(base: Packet, field) -> None:
+    """Remove the AH unit from ``base``."""
+    if field is not _f.Field.AH_HEADER:
+        raise MergeError(f"cannot strip header unit {field}")
+    if not base.has_ah:
+        raise MergeError("base carries no AH to remove")
+    ip = base.ipv4
+    ip_end = ETH_HEADER_LEN + ip.header_len
+    ah = AhView(base.buf, ip_end)
+    next_header = ah.next_header
+    del base.buf[ip_end : ip_end + AhView.HEADER_LEN]
+    ip = base.ipv4
+    ip.protocol = next_header
+    ip.total_length = ip.total_length - AhView.HEADER_LEN
+    ip.update_checksum()
+    base.wire_len -= AhView.HEADER_LEN

@@ -1,0 +1,490 @@
+"""The simulated NFP server: classifier, NF runtimes, mergers (§5).
+
+This is the timed counterpart of :mod:`repro.dataplane.functional`: the
+same packets, NF objects and merge code, but every step costs calibrated
+time on a pinned core inside the DES -- so latency, throughput and loss
+emerge from queueing exactly as on the paper's testbed.
+
+Topology (Fig. 3)::
+
+    NIC rx --> [classifier core] --> per-NF rx rings --> [NF cores]
+                 |  CT lookup, metadata,                   |  NF logic +
+                 |  stage-0 copies                         |  FT actions
+                 v                                         v
+              flight state (shared memory) <--- version barriers
+                                                           |
+               [merger cores] <--- merger agent hash ------+
+                 |  AT accumulation, MOs
+                 v
+               NIC tx --> recorded latency / rate
+
+Execution rules:
+
+* every packet reference delivery costs ``ring_hop_us`` on the sending
+  core plus ``batch_wait_us`` of pure pipeline latency;
+* an NF runtime polls its ring in bursts of ``batch_size``;
+* version barriers: refs advance to the next stage once all same-stage
+  NFs of that version finished; the completing runtime executes the
+  copy/distribute actions (§5.2);
+* drops become nil packets that flow through the remaining graph so the
+  merger's count completes naturally (§5.3);
+* the merger agent hashes the immutable PID to pick a merger instance.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.graph import ORIGINAL_VERSION, ServiceGraph, StageEntry
+from ..core.orchestrator import DeployedGraph
+from ..net.packet import HEADER_COPY_BYTES, Packet, PacketMeta
+from ..nfs.base import NetworkFunction, create_nf
+from ..sim import Core, Environment, Nic, PacketPool, RateMeter, Ring, SimParams
+from ..sim.stats import LatencyStats
+from .chaining import ChainingManager
+from .merging import apply_merge_ops
+
+__all__ = ["NFPServer", "FlightState"]
+
+
+class FlightState:
+    """Shared per-packet state: live versions, drops, stage barriers."""
+
+    __slots__ = ("versions", "dropped", "barriers")
+
+    def __init__(self, pkt: Packet):
+        self.versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
+        self.dropped: Set[int] = set()
+        self.barriers: Dict[Tuple[int, int], int] = {}
+
+
+class _NFRuntimeSim:
+    """One NF pinned to one core with its receive ring (§5.2)."""
+
+    def __init__(self, server: "NFPServer", nf: NetworkFunction, stage_index: int,
+                 entry: StageEntry, core: Core):
+        self.server = server
+        self.nf = nf
+        self.stage_index = stage_index
+        self.entry = entry
+        self.core = core
+        self.rx = Ring(server.env, server.params.ring_capacity, name=f"{nf.name}.rx")
+        server.env.process(self._run())
+
+    def _run(self):
+        # Batch-synchronous, like a DPDK poll loop: drain a burst,
+        # process every packet, then forward the whole burst.  This
+        # preserves traffic burstiness through the chain, which is what
+        # makes per-stage queueing (and hence the parallelism win)
+        # behave like the real system.
+        params = self.server.params
+        while True:
+            first = yield self.rx.get()
+            batch = [first] + self.rx.get_batch(params.batch_size - 1)
+            for pkt in batch:
+                if pkt.nil:
+                    service = params.nf_runtime_us
+                else:
+                    service = params.nf_runtime_us + params.nf_service(
+                        self.nf.KIND, self.nf.extra_cycles
+                    )
+                yield self.core.execute(service)
+                pkt.stamp(f"nf:{self.nf.name}", self.server.env.now)
+            for pkt in batch:
+                extra = self.server.nf_complete(self, pkt)
+                if extra > 0:
+                    yield self.core.execute(extra)
+
+
+class _RuntimeGroup:
+    """All instances of one (possibly scaled-out) NF.
+
+    §7: "NFP can support NF scaling inside one server by allocating
+    remaining CPU cores to new NF instances".  Flows are split across
+    instances by a 5-tuple hash so per-flow state stays on one
+    instance and packet order within a flow is preserved.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instances: List[_NFRuntimeSim] = []
+
+    def add(self, runtime: "_NFRuntimeSim") -> None:
+        self.instances.append(runtime)
+
+    def rx_for(self, pkt: Packet) -> Ring:
+        if len(self.instances) == 1:
+            return self.instances[0].rx
+        try:
+            key = zlib.crc32(repr(pkt.five_tuple()).encode())
+        except ValueError:
+            key = pkt.meta.pid if pkt.meta else pkt.uid
+        return self.instances[key % len(self.instances)].rx
+
+    @property
+    def rx_packets(self) -> int:
+        return sum(r.nf.rx_packets for r in self.instances)
+
+
+class _MergerSim:
+    """One merger instance: AT accumulation plus MO execution (§5.3)."""
+
+    def __init__(self, server: "NFPServer", index: int, core: Core):
+        self.server = server
+        self.index = index
+        self.core = core
+        self.rx = Ring(server.env, server.params.ring_capacity, name=f"merger{index}.rx")
+        #: The dynamic Accumulating Table: (mid, pid) -> state.
+        self.at: Dict[Tuple[int, int], Dict] = {}
+        self.at_high_watermark = 0
+        self.merged = 0
+        self.discarded = 0
+        server.env.process(self._run())
+
+    def _run(self):
+        params = self.server.params
+        while True:
+            first = yield self.rx.get()
+            batch = [first] + self.rx.get_batch(params.batch_size - 1)
+            for pkt in batch:
+                yield self.core.execute(params.merger_per_copy_us)
+                done = self._accumulate(pkt)
+                if done is not None:
+                    entry, graph = done
+                    yield self.core.execute(params.merger_base_us)
+                    self._finish(entry, graph)
+
+    def _accumulate(self, pkt: Packet):
+        meta = pkt.meta
+        key = (meta.mid, meta.pid)
+        entry = self.at.get(key)
+        if entry is None:
+            entry = {"count": 0, "versions": {}, "nil": False}
+            self.at[key] = entry
+            self.at_high_watermark = max(self.at_high_watermark, len(self.at))
+        entry["count"] += 1
+        entry["versions"][meta.version] = pkt
+        entry["nil"] = entry["nil"] or pkt.nil
+        graph = self.server.chaining.graph_for(meta.mid)
+        if entry["count"] >= graph.total_count:
+            del self.at[key]
+            return entry, graph
+        return None
+
+    def _finish(self, entry: Dict, graph: ServiceGraph) -> None:
+        params = self.server.params
+        if entry["nil"]:
+            self.discarded += 1
+            self.server.record_drop(entry["versions"].get(ORIGINAL_VERSION))
+            return
+        merged = apply_merge_ops(entry["versions"], graph.merge_ops)
+        merged.stamp("merged", self.server.env.now)
+        self.merged += 1
+        # Rendezvous latency: AT bookkeeping plus the copy-collection
+        # penalty (§6.3.2), charged as pipeline latency, not core time.
+        delay = params.merge_latency_us + (
+            (graph.num_versions - 1) * params.copy_merge_latency_us
+        ) + graph.total_count * params.merge_per_notification_us + len(
+            graph.merge_ops
+        ) * params.merge_per_mo_us
+        self.server.emit(merged, extra_delay=delay)
+
+
+class NFPServer:
+    """A full simulated NFP box processing deployed service graphs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: SimParams,
+        num_mergers: int = 1,
+        nf_factory: Optional[Callable[[str, str], NetworkFunction]] = None,
+    ):
+        self.env = env
+        self.params = params
+        self.chaining = ChainingManager()
+        self.pool = PacketPool(capacity=1 << 16)
+        self.nic_tx = Nic(env, params, name="tx")
+
+        self._cores = 0
+        self.classifier_core = self._new_core("classifier")
+        self.ingress = Ring(env, params.ring_capacity, name="classifier.rx")
+        env.process(self._classifier_loop())
+
+        self.num_mergers = num_mergers
+        self.mergers: List[_MergerSim] = [
+            _MergerSim(self, i, self._new_core(f"merger{i}")) for i in range(num_mergers)
+        ]
+
+        self._nf_factory = nf_factory or (lambda kind, name: create_nf(kind, name=name))
+        self.runtimes: Dict[str, _NFRuntimeSim] = {}
+        self.nfs: Dict[str, NetworkFunction] = {}
+
+        self._flight: Dict[Tuple[int, int], FlightState] = {}
+        self._next_pid = 0
+
+        #: Optional egress hook: when set, finished packets are handed to
+        #: it (after NIC tx) instead of being recorded locally -- used to
+        #: chain servers into a multi-server pipeline.
+        self.on_emit: Optional[Callable[[Packet], None]] = None
+
+        # Measurement sinks.
+        self.latency = LatencyStats()
+        self.rate = RateMeter()
+        self.lost = 0
+        self.nil_dropped = 0
+        self.emitted_packets: List[Packet] = []
+        self.keep_packets = False
+        #: When True, every packet records (label, timestamp) checkpoints
+        #: usable by repro.eval.breakdown.
+        self.record_timeline = False
+
+    # ------------------------------------------------------------- wiring
+    def _new_core(self, name: str) -> Core:
+        core = Core(self.env, self._cores, name=name)
+        self._cores += 1
+        return core
+
+    @property
+    def cores_used(self) -> int:
+        return self._cores
+
+    def deploy(
+        self,
+        deployed: DeployedGraph,
+        scale: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Install a deployed graph: tables plus runtime(s) per NF.
+
+        ``scale`` maps NF names to instance counts (default 1); scaled
+        NFs get one pinned core per instance and flows are hash-split
+        across them (§7's in-server scaling).
+        """
+        scale = scale or {}
+        self.chaining.install(deployed.tables)
+        graph = deployed.graph
+        for stage_index, stage in enumerate(graph.stages):
+            for entry in stage:
+                name = entry.node.name
+                if name in self.runtimes:
+                    raise ValueError(f"NF instance {name!r} already running")
+                count = scale.get(name, 1)
+                if count < 1:
+                    raise ValueError(f"scale for {name!r} must be >= 1")
+                group = _RuntimeGroup(name)
+                for replica in range(count):
+                    label = name if count == 1 else f"{name}#{replica}"
+                    nf = self._nf_factory(entry.node.kind, label)
+                    if count == 1:
+                        self.nfs[name] = nf
+                    else:
+                        self.nfs[label] = nf
+                    group.add(_NFRuntimeSim(
+                        self, nf, stage_index, entry, self._new_core(label)
+                    ))
+                self.runtimes[name] = group
+
+    # ------------------------------------------------------------ ingress
+    def inject(self, pkt: Packet) -> None:
+        """Receive a packet on the NIC; reaches the classifier after the
+        driver cost."""
+        if pkt.ingress_us == 0.0:
+            pkt.ingress_us = self.env.now
+        try:
+            self.pool.alloc(len(pkt.buf))
+        except Exception:
+            pass  # pool accounting never drops in simulation
+
+        if self.record_timeline and pkt.timeline is None:
+            pkt.timeline = []
+        pkt.stamp("nic-rx", pkt.ingress_us)
+
+        def rx():
+            yield self.env.timeout(self.params.nic_io_us)
+            if not self.ingress.try_put(pkt):
+                self.lost += 1
+
+        self.env.process(rx())
+
+    def _classifier_loop(self):
+        params = self.params
+        while True:
+            first = yield self.ingress.get()
+            batch = [first] + self.ingress.get_batch(params.batch_size - 1)
+            work = []
+            for pkt in batch:
+                entry = self.chaining.classify(pkt.five_tuple())
+                if entry is None:
+                    self.lost += 1
+                    continue
+                graph = self.chaining.graph_for(entry.mid)
+                service = (
+                    params.classifier_tag_us
+                    if graph.has_parallelism
+                    else params.classifier_fwd_us
+                )
+                yield self.core_execute_classifier(service)
+                work.append((pkt, entry, graph))
+            for pkt, entry, graph in work:
+                pkt.stamp("classified", self.env.now)
+                extra = self._classify_one(pkt, entry, graph)
+                if extra > 0:
+                    yield self.core_execute_classifier(extra)
+
+    def core_execute_classifier(self, duration: float):
+        return self.classifier_core.execute(duration)
+
+    def _classify_one(self, pkt: Packet, ct_entry, graph: ServiceGraph) -> float:
+        """Tag metadata, run CT actions; returns extra core time spent."""
+        pid = self._next_pid = (self._next_pid + 1) % (1 << 40)
+        pkt.meta = PacketMeta(mid=ct_entry.mid, pid=pid, version=ORIGINAL_VERSION)
+        state = FlightState(pkt)
+        self._flight[(ct_entry.mid, pid)] = state
+
+        extra = 0.0
+        stage0 = graph.stages[0]
+        # Stage-0 copies.
+        for copy in graph.copies:
+            if copy.stage_index == 0:
+                new_pkt, cost = self._make_copy(pkt, copy)
+                state.versions[copy.version] = new_pkt
+                extra += cost
+        # Distribute each version to its stage-0 NFs.
+        for version in sorted(stage0.versions()):
+            for entry in stage0.entries_on(version):
+                pkt_v = state.versions[version]
+                self._post(self.runtimes[entry.node.name].rx_for(pkt_v), pkt_v)
+                extra += self.params.ring_hop_us
+        return extra
+
+    # ----------------------------------------------------- copy machinery
+    def _make_copy(self, base: Packet, copy_spec) -> Tuple[Packet, float]:
+        if base.nil:
+            return base.make_nil(), 0.0
+        if copy_spec.header_only:
+            new_pkt = base.header_copy(copy_spec.version, HEADER_COPY_BYTES)
+        else:
+            new_pkt = base.full_copy(copy_spec.version)
+        try:
+            self.pool.alloc(len(new_pkt.buf), is_copy=True)
+        except Exception:
+            pass
+        cost = self.params.copy_cost_us(len(new_pkt.buf))
+        return new_pkt, cost
+
+    # ------------------------------------------------------ completion hook
+    def nf_complete(self, runtime: _NFRuntimeSim, pkt: Packet) -> float:
+        """Bookkeeping after an NF finishes one packet.
+
+        Runs the NF's functional logic result through the barrier state
+        machine and executes FT actions.  Returns extra core time the
+        runtime must charge (ring hops + copies it performed).
+        """
+        meta = pkt.meta
+        state = self._flight.get((meta.mid, meta.pid))
+        if state is None:
+            return 0.0
+        graph = self.chaining.graph_for(meta.mid)
+        stage_index = runtime.stage_index
+        version = runtime.entry.version
+
+        if not pkt.nil:
+            ctx = runtime.nf.handle(pkt)
+            if ctx.dropped:
+                state.dropped.add(version)
+
+        extra = 0.0
+        last_stage = graph.last_stage_of_version(version)
+        if stage_index == last_stage:
+            # Final stage for this version: notify the merger (or output
+            # directly for a strictly sequential graph).
+            out_pkt = self._version_packet(state, version)
+            if graph.needs_merger:
+                self._notify_merger(out_pkt)
+                extra += self.params.ring_hop_us
+            else:
+                self._flight.pop((meta.mid, meta.pid), None)
+                if out_pkt.nil:
+                    self.record_drop(out_pkt)
+                else:
+                    self.emit(out_pkt)
+            return extra
+
+        # Mid-graph: version barrier.
+        key = (stage_index, version)
+        remaining = state.barriers.get(key)
+        if remaining is None:
+            remaining = len(graph.stages[stage_index].entries_on(version))
+        remaining -= 1
+        state.barriers[key] = remaining
+        if remaining > 0:
+            return 0.0
+
+        # Barrier complete: this runtime forwards to the next stage.
+        next_stage = graph.stages[stage_index + 1]
+        fwd_pkt = self._version_packet(state, version)
+        if version == ORIGINAL_VERSION:
+            for copy in graph.copies:
+                if copy.stage_index == stage_index + 1:
+                    new_pkt, cost = self._make_copy(fwd_pkt, copy)
+                    state.versions[copy.version] = new_pkt
+                    extra += cost
+                    for entry in next_stage.entries_on(copy.version):
+                        self._post(
+                            self.runtimes[entry.node.name].rx_for(new_pkt), new_pkt
+                        )
+                        extra += self.params.ring_hop_us
+        for entry in next_stage.entries_on(version):
+            self._post(self.runtimes[entry.node.name].rx_for(fwd_pkt), fwd_pkt)
+            extra += self.params.ring_hop_us
+        return extra
+
+    def _version_packet(self, state: FlightState, version: int) -> Packet:
+        pkt = state.versions[version]
+        if version in state.dropped and not pkt.nil:
+            pkt = pkt.make_nil()
+            state.versions[version] = pkt
+        return pkt
+
+    def _notify_merger(self, pkt: Packet) -> None:
+        merger = self.mergers[pkt.meta.pid % self.num_mergers]
+        self._post(merger.rx, pkt, delay=self.params.merger_hop_latency_us)
+
+    # ------------------------------------------------------------- egress
+    def _post(self, ring: Ring, pkt: Packet, delay: Optional[float] = None) -> None:
+        """Deliver a reference after the pipeline's batch latency."""
+        wait = self.params.batch_wait_us if delay is None else delay
+
+        def delayed():
+            yield self.env.timeout(wait)
+            if not ring.try_put(pkt):
+                self.lost += 1
+
+        self.env.process(delayed())
+
+    def emit(self, pkt: Packet, extra_delay: float = 0.0) -> None:
+        """Send a finished packet out of the NIC and record metrics."""
+        if pkt.meta is not None:
+            self._flight.pop((pkt.meta.mid, pkt.meta.pid), None)
+
+        def tx():
+            if extra_delay > 0:
+                yield self.env.timeout(extra_delay)
+            yield self.env.timeout(self.params.nic_io_us)
+            yield self.nic_tx.transmit(pkt.wire_len)
+            pkt.stamp("nic-tx", self.env.now)
+            if self.on_emit is not None:
+                self.on_emit(pkt)
+                return
+            self.latency.record(self.env.now - pkt.ingress_us)
+            self.rate.record_delivery(self.env.now)
+            if self.keep_packets:
+                self.emitted_packets.append(pkt)
+
+        self.env.process(tx())
+
+    def record_drop(self, pkt: Optional[Packet]) -> None:
+        self.nil_dropped += 1
+        if pkt is not None and pkt.meta is not None:
+            self._flight.pop((pkt.meta.mid, pkt.meta.pid), None)

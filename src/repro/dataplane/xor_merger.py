@@ -1,0 +1,97 @@
+"""The XOR-merge alternative the paper considers and rejects (§5.3).
+
+"A possible design choice of packet merging is to maintain an extra
+copy of the original packet, simply xor the processed and original
+packets to find the modified bits."  The paper rejects it because:
+
+1. without action profiles, parallelism identification would become
+   ad hoc (unrelated to merging, handled by the orchestrator anyway);
+2. "the xor mechanism cannot easily handle header addition/removal or
+   dropping actions";
+3. "maintaining the original copy of the packet brings unnecessary
+   resource overhead".
+
+This module implements the design faithfully so the drawbacks are
+demonstrable (see the ablation benchmark and unit tests): it merges by
+XOR-ing each processed version against the retained original, which
+works for in-place field writes but raises on any structural change,
+and it charges a full original copy per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..net.packet import Packet
+
+__all__ = ["XorMerger", "XorMergeError"]
+
+
+class XorMergeError(RuntimeError):
+    """The XOR design cannot merge these versions (structural change)."""
+
+
+class XorMerger:
+    """Merge processed versions by XOR-diffing against the original.
+
+    Usage: retain ``original`` (a full copy made *before* processing),
+    then call :meth:`merge` with the processed versions.  Every version
+    must have the original's exact length -- an added or removed header
+    makes the diff meaningless, which is drawback (2) above.
+    """
+
+    def __init__(self):
+        self.merged = 0
+        self.rejected = 0
+        #: bytes spent retaining originals (drawback 3).
+        self.original_bytes_retained = 0
+
+    def retain(self, pkt: Packet) -> Packet:
+        """Keep a pristine copy of the packet before processing."""
+        original = Packet(bytearray(pkt.buf), meta=pkt.meta, wire_len=pkt.wire_len)
+        self.original_bytes_retained += len(pkt.buf)
+        return original
+
+    def merge(
+        self, original: Packet, versions: Dict[int, Packet]
+    ) -> Optional[Packet]:
+        """Combine all versions' modifications into one output packet.
+
+        Returns ``None`` when any version is nil (drop).  Raises
+        :class:`XorMergeError` when a version changed the packet length
+        (header add/remove) -- the case the paper calls out.
+        """
+        if not versions:
+            raise XorMergeError("no versions to merge")
+        if any(pkt.nil for pkt in versions.values()):
+            return None
+        base = bytes(original.buf)
+        for version, pkt in sorted(versions.items()):
+            if len(pkt.buf) != len(base) and not pkt.is_header_copy:
+                self.rejected += 1
+                raise XorMergeError(
+                    f"version {version} changed packet length "
+                    f"({len(base)} -> {len(pkt.buf)}): the XOR mechanism "
+                    "cannot handle header addition/removal"
+                )
+
+        # final = original XOR (xor of all per-version diffs).
+        out = bytearray(base)
+        for pkt in versions.values():
+            span = min(len(pkt.buf), len(base))
+            for i in range(span):
+                out[i] ^= base[i] ^ pkt.buf[i]
+        merged = Packet(out, meta=original.meta, wire_len=original.wire_len)
+        merged.ingress_us = original.ingress_us
+        self.merged += 1
+        return merged
+
+    def memory_overhead_bytes(self, packet_size: int, degree: int) -> int:
+        """Per-packet memory vs the MO design.
+
+        The XOR design retains one full original regardless of degree;
+        the MO design needs no original at all (v1 is merged in place).
+        """
+        if packet_size <= 0 or degree < 1:
+            raise ValueError("packet size and degree must be positive")
+        return packet_size

@@ -1,0 +1,139 @@
+"""Latency breakdown: where each microsecond of a graph's latency goes.
+
+Runs a workload with per-packet timeline instrumentation enabled and
+aggregates the checkpoints into named segments:
+
+* ``ingest``       -- NIC arrival until classification;
+* ``stage k``      -- from the previous milestone until the *last* NF of
+  stage *k* finished with the packet (barrier semantics included);
+* ``merge``        -- final NF until the merger's rendezvous completed;
+* ``egress``       -- merge until the frame cleared the TX NIC.
+
+Useful for explaining measurements (which stage dominates, how much the
+merge path costs) and asserted in tests: the segment means must sum to
+the measured mean latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.graph import ServiceGraph
+from ..core.policy import Policy
+from ..dataplane.server import NFPServer
+from ..sim import DEFAULT_PARAMS, Environment, SimParams
+from ..traffic.generator import FIXED_64B, FlowGenerator, PacketSizeDistribution, TrafficSource
+from .harness import as_graph, deployed_from_graph
+from .model import nfp_capacity
+
+__all__ = ["LatencyBreakdown", "latency_breakdown"]
+
+
+@dataclass
+class LatencyBreakdown:
+    """Mean per-segment latency contributions (microseconds)."""
+
+    segments: Dict[str, float]
+    total_us: float
+    packets: int
+
+    def share(self, segment: str) -> float:
+        """Fraction of total latency spent in ``segment``."""
+        if self.total_us <= 0:
+            return 0.0
+        return self.segments.get(segment, 0.0) / self.total_us
+
+    def dominant(self) -> str:
+        return max(self.segments, key=self.segments.get)
+
+    def rows(self) -> List[tuple]:
+        return [
+            (name, value, self.share(name) * 100)
+            for name, value in self.segments.items()
+        ]
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{name}={value:.1f}us ({self.share(name) * 100:.0f}%)"
+            for name, value in self.segments.items()
+        )
+        return f"LatencyBreakdown(total={self.total_us:.1f}us: {parts})"
+
+
+def _segment_packet(graph: ServiceGraph, timeline: List[tuple]) -> Dict[str, float]:
+    """Turn one packet's checkpoints into named segment durations."""
+    times = dict()
+    nf_times: Dict[str, float] = {}
+    for label, when in timeline:
+        if label.startswith("nf:"):
+            # Scaled instances are named name#k; normalise.
+            name = label[3:].split("#", 1)[0]
+            nf_times[name] = max(nf_times.get(name, 0.0), when)
+        else:
+            times[label] = when
+
+    segments: Dict[str, float] = {}
+    cursor = times["nic-rx"]
+    if "classified" in times:
+        segments["ingest"] = times["classified"] - cursor
+        cursor = times["classified"]
+    for index, stage in enumerate(graph.stages):
+        finishes = [
+            nf_times[e.node.name] for e in stage if e.node.name in nf_times
+        ]
+        if not finishes:
+            continue
+        stage_end = max(finishes)
+        segments[f"stage {index}"] = max(0.0, stage_end - cursor)
+        cursor = max(cursor, stage_end)
+    if "merged" in times:
+        segments["merge"] = max(0.0, times["merged"] - cursor)
+        cursor = max(cursor, times["merged"])
+    if "nic-tx" in times:
+        segments["egress"] = max(0.0, times["nic-tx"] - cursor)
+    return segments
+
+
+def latency_breakdown(
+    target: Union[ServiceGraph, Policy, Sequence[str]],
+    params: SimParams = DEFAULT_PARAMS,
+    packets: int = 1500,
+    sizes: PacketSizeDistribution = FIXED_64B,
+    load_fraction: Optional[float] = None,
+    num_mergers: int = 1,
+    seed: int = 1,
+) -> LatencyBreakdown:
+    """Measure a graph with timeline instrumentation and aggregate."""
+    graph = as_graph(target)
+    size = int(sizes.mean())
+    capacity = nfp_capacity(graph, params, num_mergers=num_mergers,
+                            packet_size=size).mpps
+    fraction = params.latency_load_fraction if load_fraction is None else load_fraction
+
+    env = Environment()
+    server = NFPServer(env, params, num_mergers=num_mergers)
+    server.deploy(deployed_from_graph(graph))
+    server.record_timeline = True
+    server.keep_packets = True
+    flows = FlowGenerator(num_flows=64, sizes=sizes, seed=seed)
+    TrafficSource(env, server.inject, capacity * fraction, packets,
+                  flows=flows, seed=seed)
+    env.run()
+
+    sums: Dict[str, float] = {}
+    count = 0
+    for pkt in server.emitted_packets:
+        if not pkt.timeline:
+            continue
+        count += 1
+        for name, value in _segment_packet(graph, pkt.timeline).items():
+            sums[name] = sums.get(name, 0.0) + value
+    if count == 0:
+        raise RuntimeError("no instrumented packets were delivered")
+    segments = {name: total / count for name, total in sums.items()}
+    return LatencyBreakdown(
+        segments=segments,
+        total_us=sum(segments.values()),
+        packets=count,
+    )

@@ -1,0 +1,226 @@
+"""Measurement harness: run a workload against a simulated system.
+
+One entry point per system (`measure_nfp`, `measure_onvm`,
+`measure_bess`), each returning a :class:`MeasurementResult` with the
+quantities the paper's figures plot: mean/percentile latency, maximum
+lossless throughput (analytic, DES-validated), loss counts, memory
+overhead from copies, and cores used.
+
+Methodology mirrors §6: throughput is the capacity of the bottleneck
+component; latency is measured with Poisson arrivals at
+``latency_load_fraction`` of that capacity (the paper measures latency
+at the highest sustainable rate, where queueing dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..core.compiler import CompilationResult
+from ..core.graph import ServiceGraph
+from ..core.orchestrator import DeployedGraph, Orchestrator
+from ..core.policy import Policy
+from ..core.tables import build_tables
+from ..baselines.bess import BessServer
+from ..baselines.opennetvm import OpenNetVMServer
+from ..dataplane.server import NFPServer
+from ..nfs.base import create_nf
+from ..sim import DEFAULT_PARAMS, Environment, SimParams
+from ..traffic.generator import FIXED_64B, FlowGenerator, PacketSizeDistribution, TrafficSource
+from .model import bess_capacity, nfp_capacity, onvm_capacity
+
+__all__ = [
+    "MeasurementResult",
+    "as_graph",
+    "deployed_from_graph",
+    "measure_nfp",
+    "measure_onvm",
+    "measure_bess",
+]
+
+
+@dataclass
+class MeasurementResult:
+    """Everything a figure needs about one measured configuration."""
+
+    system: str
+    label: str
+    latency_mean_us: float
+    latency_p50_us: float
+    latency_p99_us: float
+    throughput_mpps: float
+    bottleneck: str
+    offered_mpps: float
+    delivered: int
+    lost: int
+    nil_dropped: int
+    resource_overhead: float
+    cores_used: int
+
+    @property
+    def lossless(self) -> bool:
+        return self.lost == 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.system:<10s} {self.label:<28s} "
+            f"lat={self.latency_mean_us:8.1f}us  "
+            f"tput={self.throughput_mpps:6.2f}Mpps  "
+            f"overhead={self.resource_overhead*100:5.1f}%  "
+            f"cores={self.cores_used}"
+        )
+
+
+def as_graph(target: Union[ServiceGraph, Policy, Sequence[str]]) -> ServiceGraph:
+    """Accept a compiled graph, a policy, or a chain of NF kinds."""
+    if isinstance(target, ServiceGraph):
+        return target
+    if isinstance(target, Policy):
+        return Orchestrator().compile(target).graph
+    return Orchestrator().compile(Policy.from_chain(list(target))).graph
+
+
+def deployed_from_graph(graph: ServiceGraph, mid: int = 1) -> DeployedGraph:
+    """Wrap a (possibly forced) graph as a deployable artifact."""
+    return DeployedGraph(mid, CompilationResult(graph, {}, []), build_tables(graph, mid))
+
+
+def _drain(env: Environment) -> None:
+    env.run()
+
+
+def measure_nfp(
+    target: Union[ServiceGraph, Policy, Sequence[str]],
+    params: SimParams = DEFAULT_PARAMS,
+    packets: int = 3000,
+    sizes: PacketSizeDistribution = FIXED_64B,
+    num_mergers: int = 1,
+    load_fraction: Optional[float] = None,
+    extra_cycles: int = 0,
+    num_flows: int = 64,
+    label: str = "",
+    seed: int = 1,
+) -> MeasurementResult:
+    """Measure an NFP service graph end to end."""
+    graph = as_graph(target)
+    size = int(sizes.mean())
+    capacity = nfp_capacity(
+        graph, params, num_mergers=num_mergers, packet_size=size,
+        extra_cycles=extra_cycles,
+    )
+    fraction = params.latency_load_fraction if load_fraction is None else load_fraction
+    rate = max(1e-6, capacity.mpps * fraction)
+
+    env = Environment()
+
+    def factory(kind: str, name: str):
+        nf = create_nf(kind, name=name)
+        nf.extra_cycles = extra_cycles
+        return nf
+
+    server = NFPServer(env, params, num_mergers=num_mergers, nf_factory=factory)
+    server.deploy(deployed_from_graph(graph))
+    flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
+    source = TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)
+    _drain(env)
+
+    return MeasurementResult(
+        system="NFP",
+        label=label or graph.describe(),
+        latency_mean_us=server.latency.mean,
+        latency_p50_us=server.latency.median,
+        latency_p99_us=server.latency.p99,
+        throughput_mpps=capacity.mpps,
+        bottleneck=capacity.bottleneck,
+        offered_mpps=rate,
+        delivered=server.rate.delivered,
+        lost=server.lost,
+        nil_dropped=server.nil_dropped,
+        resource_overhead=server.pool.copy_overhead_fraction(),
+        cores_used=server.cores_used,
+    )
+
+
+def measure_onvm(
+    chain: Sequence[str],
+    params: SimParams = DEFAULT_PARAMS,
+    packets: int = 3000,
+    sizes: PacketSizeDistribution = FIXED_64B,
+    load_fraction: Optional[float] = None,
+    extra_cycles: int = 0,
+    num_flows: int = 64,
+    label: str = "",
+    seed: int = 1,
+) -> MeasurementResult:
+    """Measure a sequential chain under OpenNetVM."""
+    size = int(sizes.mean())
+    capacity = onvm_capacity(chain, params, packet_size=size, extra_cycles=extra_cycles)
+    fraction = params.latency_load_fraction if load_fraction is None else load_fraction
+    rate = max(1e-6, capacity.mpps * fraction)
+
+    env = Environment()
+    server = OpenNetVMServer(env, params, chain, extra_cycles=extra_cycles)
+    flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
+    TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)
+    _drain(env)
+
+    return MeasurementResult(
+        system="OpenNetVM",
+        label=label or "->".join(chain),
+        latency_mean_us=server.latency.mean,
+        latency_p50_us=server.latency.median,
+        latency_p99_us=server.latency.p99,
+        throughput_mpps=capacity.mpps,
+        bottleneck=capacity.bottleneck,
+        offered_mpps=rate,
+        delivered=server.rate.delivered,
+        lost=server.lost,
+        nil_dropped=server.nil_dropped,
+        resource_overhead=0.0,
+        cores_used=server.cores_used,
+    )
+
+
+def measure_bess(
+    chain: Sequence[str],
+    params: SimParams = DEFAULT_PARAMS,
+    num_cores: int = 1,
+    packets: int = 3000,
+    sizes: PacketSizeDistribution = FIXED_64B,
+    load_fraction: Optional[float] = None,
+    extra_cycles: int = 0,
+    num_flows: int = 64,
+    label: str = "",
+    seed: int = 1,
+) -> MeasurementResult:
+    """Measure a run-to-completion chain under BESS."""
+    size = int(sizes.mean())
+    capacity = bess_capacity(
+        chain, params, num_cores=num_cores, packet_size=size,
+        extra_cycles=extra_cycles,
+    )
+    fraction = params.latency_load_fraction if load_fraction is None else load_fraction
+    rate = max(1e-6, capacity.mpps * fraction)
+
+    env = Environment()
+    server = BessServer(env, params, chain, num_cores=num_cores, extra_cycles=extra_cycles)
+    flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
+    TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)
+    _drain(env)
+
+    return MeasurementResult(
+        system="BESS",
+        label=label or "->".join(chain),
+        latency_mean_us=server.latency.mean,
+        latency_p50_us=server.latency.median,
+        latency_p99_us=server.latency.p99,
+        throughput_mpps=capacity.mpps,
+        bottleneck=capacity.bottleneck,
+        offered_mpps=rate,
+        delivered=server.rate.delivered,
+        lost=server.lost,
+        nil_dropped=server.nil_dropped,
+        resource_overhead=0.0,
+        cores_used=server.cores_used,
+    )

@@ -1,0 +1,183 @@
+"""Analytic capacity model: closed-form max lossless throughput.
+
+Every core in the simulated dataplane is a deterministic single-server
+queue, so the maximum lossless rate is exactly the reciprocal of the
+largest per-packet service demand on any core (plus the NIC line-rate
+cap).  The DES measures the same thing empirically; tests cross-validate
+the two.  Benchmarks use the analytic value because it is exact and
+instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.graph import ORIGINAL_VERSION, ServiceGraph
+from ..net.packet import HEADER_COPY_BYTES
+from ..sim.params import SimParams
+
+__all__ = [
+    "CapacityReport",
+    "nfp_capacity",
+    "onvm_capacity",
+    "bess_capacity",
+    "nfp_latency_floor",
+]
+
+
+class CapacityReport:
+    """Max lossless throughput and the component that limits it."""
+
+    __slots__ = ("mpps", "bottleneck", "demands")
+
+    def __init__(self, mpps: float, bottleneck: str, demands: Dict[str, float]):
+        self.mpps = mpps
+        self.bottleneck = bottleneck
+        #: per-component service demand in us/packet.
+        self.demands = demands
+
+    def __repr__(self) -> str:
+        return f"CapacityReport({self.mpps:.2f} Mpps, bottleneck={self.bottleneck})"
+
+
+def _finish(demands: Dict[str, float], line_rate: float) -> CapacityReport:
+    demands = dict(demands)
+    rates = {name: (1.0 / d if d > 0 else float("inf")) for name, d in demands.items()}
+    rates["nic"] = line_rate
+    bottleneck = min(rates, key=rates.get)
+    return CapacityReport(rates[bottleneck], bottleneck, demands)
+
+
+def _copy_cost(params: SimParams, header_only: bool, packet_size: int) -> float:
+    nbytes = HEADER_COPY_BYTES if header_only else packet_size
+    return params.copy_cost_us(nbytes)
+
+
+def nfp_capacity(
+    graph: ServiceGraph,
+    params: SimParams,
+    num_mergers: int = 1,
+    packet_size: int = 64,
+    extra_cycles: int = 0,
+) -> CapacityReport:
+    """Throughput of an NFP server running one service graph.
+
+    Per-packet demand per core:
+
+    * classifier: CT service (+ metadata when parallel) + stage-0 copies
+      + stage-0 ring hops;
+    * each NF: runtime + NF service (+ barrier-completer hops/copies,
+      amortised onto the version's NFs);
+    * merger: notifications x per-copy + completion base, split across
+      instances.
+    """
+    demands: Dict[str, float] = {}
+    service = (
+        params.classifier_tag_us if graph.has_parallelism else params.classifier_fwd_us
+    )
+    stage0 = graph.stages[0]
+    for copy in graph.copies:
+        if copy.stage_index == 0:
+            service += _copy_cost(params, copy.header_only, packet_size)
+    service += params.ring_hop_us * len(stage0.entries)
+    demands["classifier"] = service
+
+    for index, stage in enumerate(graph.stages):
+        next_stage = graph.stages[index + 1] if index + 1 < len(graph.stages) else None
+        for entry in stage:
+            demand = params.nf_runtime_us + params.nf_service(
+                entry.node.kind, extra_cycles
+            )
+            last = graph.last_stage_of_version(entry.version)
+            if index == last:
+                if graph.needs_merger:
+                    demand += params.ring_hop_us
+            elif next_stage is not None:
+                # Forwarding work done once per version-barrier; amortise
+                # over the version's NFs in this stage.
+                peers = len(stage.entries_on(entry.version))
+                hops = len(next_stage.entries_on(entry.version))
+                cost = hops * params.ring_hop_us
+                if entry.version == ORIGINAL_VERSION:
+                    for copy in graph.copies:
+                        if copy.stage_index == index + 1:
+                            cost += _copy_cost(params, copy.header_only, packet_size)
+                            cost += params.ring_hop_us * len(
+                                next_stage.entries_on(copy.version)
+                            )
+                demand += cost / peers
+            demands[entry.node.name] = demand
+
+    if graph.needs_merger:
+        per_packet = (
+            graph.total_count * params.merger_per_copy_us + params.merger_base_us
+        )
+        demands["merger"] = per_packet / num_mergers
+
+    return _finish(demands, params.line_rate_mpps(packet_size))
+
+
+def onvm_capacity(
+    chain: Sequence[str],
+    params: SimParams,
+    packet_size: int = 64,
+    extra_cycles: int = 0,
+) -> CapacityReport:
+    """Throughput under OpenNetVM: manager-bound at 9.38 Mpps typically."""
+    demands: Dict[str, float] = {
+        "manager": params.onvm_manager_us + len(chain) * params.onvm_hop_op_us
+    }
+    for index, kind in enumerate(chain):
+        demands[f"{kind}{index}"] = params.nf_runtime_us + params.nf_service(
+            kind, extra_cycles
+        )
+    return _finish(demands, params.line_rate_mpps(packet_size))
+
+
+def bess_capacity(
+    chain: Sequence[str],
+    params: SimParams,
+    num_cores: int = 1,
+    packet_size: int = 64,
+    extra_cycles: int = 0,
+) -> CapacityReport:
+    """Throughput under BESS RTC with duplicated chains on k cores."""
+    per_chain = params.rtc_base_us + sum(
+        params.rtc_per_nf_us + extra_cycles / 3000.0 for _ in chain
+    )
+    demands = {"rtc": per_chain / num_cores}
+    return _finish(demands, params.line_rate_mpps(packet_size))
+
+
+def nfp_latency_floor(
+    graph: ServiceGraph,
+    params: SimParams,
+    packet_size: int = 64,
+    extra_cycles: int = 0,
+) -> float:
+    """Zero-load latency through an NFP graph (no queueing).
+
+    The packet's critical path: NIC in, classifier, per stage the
+    slowest NF on the path plus a pipeline hop, the merge rendezvous,
+    NIC out.  Used by tests as a lower bound for DES measurements.
+    """
+    latency = params.nic_io_us  # ingress driver
+    latency += (
+        params.classifier_tag_us if graph.has_parallelism else params.classifier_fwd_us
+    )
+    for stage in graph.stages:
+        latency += params.batch_wait_us
+        latency += max(
+            params.nf_runtime_us + params.nf_service(e.node.kind, extra_cycles)
+            for e in stage
+        )
+    if graph.needs_merger:
+        latency += params.merger_hop_latency_us
+        latency += graph.total_count * params.merger_per_copy_us + params.merger_base_us
+        latency += params.merge_latency_us
+        latency += graph.total_count * params.merge_per_notification_us
+        latency += (graph.num_versions - 1) * params.copy_merge_latency_us
+        latency += len(graph.merge_ops) * params.merge_per_mo_us
+    latency += params.nic_io_us
+    latency += (packet_size + 20) * 8 / (params.nic_gbps * 1000.0)
+    return latency

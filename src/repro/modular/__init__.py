@@ -1,0 +1,23 @@
+"""OpenBox-style modular NFs + block-level NFP parallelism (§7, Fig. 15)."""
+
+from .blocks import Block, alert, dpi, drop, header_classifier, output, read_packets
+from .pipeline import BlockPipeline, StagedPipeline, nfp_parallelize, openbox_merge
+from .fig15 import Fig15Result, build_firewall_pipeline, build_ips_pipeline, fig15
+
+__all__ = [
+    "Block",
+    "read_packets",
+    "header_classifier",
+    "dpi",
+    "alert",
+    "drop",
+    "output",
+    "BlockPipeline",
+    "StagedPipeline",
+    "openbox_merge",
+    "nfp_parallelize",
+    "fig15",
+    "Fig15Result",
+    "build_firewall_pipeline",
+    "build_ips_pipeline",
+]

@@ -1,0 +1,83 @@
+"""Fig. 15: the OpenBox+NFP Firewall/IPS merge.
+
+Builds the figure's two modular NFs, applies the OpenBox merge and then
+NFP block-level parallelism, and reports the three critical paths:
+
+* plain sequential composition (Firewall then IPS, no sharing);
+* OpenBox merge (shared ReadPackets + HeaderClassifier);
+* OpenBox + NFP (Alert(firewall) parallel with DPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .blocks import alert, dpi, drop, header_classifier, output, read_packets
+from .pipeline import BlockPipeline, StagedPipeline, nfp_parallelize, openbox_merge
+
+__all__ = ["Fig15Result", "build_firewall_pipeline", "build_ips_pipeline", "fig15"]
+
+
+def build_firewall_pipeline() -> BlockPipeline:
+    """Fig. 15's modular firewall: read -> classify -> alert (drop/out
+    handled at the tail of the merged pipeline)."""
+    return BlockPipeline(
+        "firewall",
+        [read_packets(), header_classifier(),
+         alert("firewall", depends_on=("header_classifier",))],
+    )
+
+
+def build_ips_pipeline() -> BlockPipeline:
+    """Fig. 15's modular IPS: read -> classify -> DPI -> alert -> drop -> out."""
+    return BlockPipeline(
+        "ips",
+        [read_packets(), header_classifier(), dpi(),
+         alert("ips", depends_on=("dpi",)),
+         drop(depends_on=("header_classifier", "dpi")), output()],
+    )
+
+
+@dataclass
+class Fig15Result:
+    sequential: BlockPipeline
+    openbox: BlockPipeline
+    openbox_nfp: StagedPipeline
+
+    @property
+    def sequential_cost(self) -> float:
+        return self.sequential.critical_path()
+
+    @property
+    def openbox_cost(self) -> float:
+        return self.openbox.critical_path()
+
+    @property
+    def openbox_nfp_cost(self) -> float:
+        return self.openbox_nfp.critical_path()
+
+    def reduction_vs_sequential(self) -> float:
+        return 1.0 - self.openbox_nfp_cost / self.sequential_cost
+
+    def reduction_vs_openbox(self) -> float:
+        return 1.0 - self.openbox_nfp_cost / self.openbox_cost
+
+    def __str__(self) -> str:
+        return (
+            f"sequential: {self.sequential_cost:.1f}us | "
+            f"openbox: {self.openbox_cost:.1f}us | "
+            f"openbox+nfp: {self.openbox_nfp_cost:.1f}us "
+            f"({self.reduction_vs_sequential()*100:.1f}% vs seq, "
+            f"{self.reduction_vs_openbox()*100:.1f}% vs openbox)\n"
+            f"graph: {self.openbox_nfp.describe()}"
+        )
+
+
+def fig15() -> Fig15Result:
+    """Run the Fig. 15 merge and parallelisation."""
+    firewall = build_firewall_pipeline()
+    ips = build_ips_pipeline()
+    sequential = BlockPipeline("fw;ips", firewall.blocks + ips.blocks)
+    merged = openbox_merge(firewall, ips)
+    parallel = nfp_parallelize(merged)
+    return Fig15Result(sequential=sequential, openbox=merged, openbox_nfp=parallel)

@@ -1,0 +1,33 @@
+"""Cross-server NF parallelism (§7 scalability sketch, implemented).
+
+A compiled service graph is partitioned at stage boundaries over
+several simulated servers (`repro.core.partition`); copy versions are
+merged before leaving each server so every inter-server link carries
+exactly one packet copy, tagged with an NSH-style shim that ferries the
+NFP metadata.
+"""
+
+from .nsh import NSH_LEN, NshTag, decapsulate, encapsulate, has_nsh
+from .dataplane import MultiServerDataplane, ServerStage, slice_merge_ops
+from .latency import (
+    CrossServerLatency,
+    estimate_cross_server_latency,
+    link_cost_us,
+)
+from .timed import TimedMultiServer, slice_subgraph
+
+__all__ = [
+    "NshTag",
+    "encapsulate",
+    "decapsulate",
+    "has_nsh",
+    "NSH_LEN",
+    "MultiServerDataplane",
+    "ServerStage",
+    "slice_merge_ops",
+    "estimate_cross_server_latency",
+    "CrossServerLatency",
+    "link_cost_us",
+    "TimedMultiServer",
+    "slice_subgraph",
+]

@@ -1,0 +1,203 @@
+"""Cross-server NF parallelism (§7 "NFP Scalability").
+
+Executes a service graph partitioned over several servers under the
+paper's bandwidth constraint: "each server sends only one copy of a
+packet to the next server".  Each :class:`ServerStage` runs its slice
+of stages with full NFP semantics (versions, copies, barriers, nil
+propagation) and performs a *slice-local merge* at its egress -- copy
+versions never leave the server; only the (merged) original crosses a
+link, tagged with an NSH shim carrying the flight metadata.
+
+The pipeline:
+
+1. the ingress server classifies (assigns MID/PID) and runs slice 0;
+2. at egress, the slice's copy-version writes are merged into v1, the
+   NSH shim is pushed, and the frame crosses the link;
+3. the next server pops the shim, recovers the metadata, runs its
+   slice, and so on;
+4. the last server emits the final packet (no shim on the way out).
+
+A drop anywhere tags the shim nil, so downstream servers skip all
+processing for that packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.graph import MergeOp, ORIGINAL_VERSION, ServiceGraph
+from ..core.partition import ServerSlice, partition_graph
+from ..dataplane.merging import apply_merge_ops
+from ..net.headers import ETH_HEADER_LEN
+from ..net.packet import HEADER_COPY_BYTES, Packet, PacketMeta
+from ..nfs.base import NetworkFunction
+from .nsh import NshTag, decapsulate, encapsulate
+
+__all__ = ["ServerStage", "MultiServerDataplane", "slice_merge_ops"]
+
+
+def slice_merge_ops(graph: ServiceGraph, server_slice: ServerSlice) -> List[MergeOp]:
+    """The merge operations whose source versions live in this slice.
+
+    Copy versions are stage-local, so each graph MO belongs to exactly
+    one slice -- the one holding the stage where its source version
+    runs.
+    """
+    local_versions = {
+        entry.version
+        for stage in server_slice.stages
+        for entry in stage
+        if entry.version != ORIGINAL_VERSION
+    }
+    return [op for op in graph.merge_ops if op.src_version in local_versions]
+
+
+class ServerStage:
+    """One server running a slice of a partitioned graph."""
+
+    def __init__(
+        self,
+        graph: ServiceGraph,
+        server_slice: ServerSlice,
+        nf_instances: Optional[Dict[str, NetworkFunction]] = None,
+    ):
+        self.graph = graph
+        self.slice = server_slice
+        self.merge_ops = slice_merge_ops(graph, server_slice)
+        names = server_slice.nf_names()
+        if nf_instances is None:
+            from ..nfs.base import create_nf
+
+            nf_instances = {}
+            for stage in server_slice.stages:
+                for entry in stage:
+                    nf_instances[entry.node.name] = create_nf(
+                        entry.node.kind, name=entry.node.name
+                    )
+        missing = [n for n in names if n not in nf_instances]
+        if missing:
+            raise ValueError(f"missing NF instances: {missing}")
+        self.nfs = nf_instances
+        self.processed = 0
+        self.dropped = 0
+
+    def process(self, pkt: Packet) -> Optional[Packet]:
+        """Run the slice; returns the merged v1 or ``None`` on drop."""
+        self.processed += 1
+        versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
+        global_offset = self.graph.stages.index(self.slice.stages[0])
+
+        for local_index, stage in enumerate(self.slice.stages):
+            stage_index = global_offset + local_index
+            for copy in self.graph.copies:
+                if copy.stage_index != stage_index:
+                    continue
+                base = versions[ORIGINAL_VERSION]
+                if base.nil:
+                    versions[copy.version] = base.make_nil()
+                elif copy.header_only:
+                    versions[copy.version] = base.header_copy(
+                        copy.version, HEADER_COPY_BYTES
+                    )
+                else:
+                    versions[copy.version] = base.full_copy(copy.version)
+
+            newly_dropped = []
+            for entry in stage:
+                buffer = versions[entry.version]
+                if buffer.nil:
+                    continue
+                ctx = self.nfs[entry.node.name].handle(buffer)
+                if ctx.dropped:
+                    newly_dropped.append(entry.version)
+            for version in newly_dropped:
+                versions[version] = versions[version].make_nil()
+
+        merged = apply_merge_ops(versions, self.merge_ops)
+        if merged is None:
+            self.dropped += 1
+        return merged
+
+
+@dataclass
+class LinkStats:
+    """Per-link accounting proving the one-copy constraint."""
+
+    frames: int = 0
+    bytes: int = 0
+    nil_frames: int = 0
+
+
+class MultiServerDataplane:
+    """A service graph spread over several servers, linked by NSH."""
+
+    def __init__(
+        self,
+        graph: ServiceGraph,
+        cores_per_server: int,
+        path_id: int = 1,
+    ):
+        self.graph = graph
+        self.path_id = path_id
+        self.slices = partition_graph(graph, cores_per_server)
+        self.servers = [ServerStage(graph, s) for s in self.slices]
+        self.links: List[LinkStats] = [LinkStats() for _ in self.servers[:-1]]
+        self._next_pid = 0
+        self.emitted = 0
+        self.dropped = 0
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def nf(self, name: str) -> NetworkFunction:
+        for server in self.servers:
+            if name in server.nfs:
+                return server.nfs[name]
+        raise KeyError(name)
+
+    def process(self, pkt: Packet) -> Optional[Packet]:
+        """Run one packet across all servers; ``None`` means dropped."""
+        # Ingress classification: assign flight metadata.
+        self._next_pid = (self._next_pid + 1) % (1 << 40)
+        pkt.meta = PacketMeta(mid=self.path_id, pid=self._next_pid,
+                              version=ORIGINAL_VERSION)
+
+        current: Optional[Packet] = pkt
+        nil = False
+        for index, server in enumerate(self.servers):
+            if not nil:
+                current = server.process(current)
+                if current is None:
+                    nil = True
+            if index < len(self.links):
+                # Cross the link: exactly one frame per packet, tagged.
+                if current is not None and not nil:
+                    carrier = current
+                else:
+                    # A dropped packet still crosses as a minimal nil
+                    # notification so downstream accounting completes.
+                    carrier = Packet(
+                        bytearray(ETH_HEADER_LEN), meta=pkt.meta,
+                        wire_len=ETH_HEADER_LEN,
+                    )
+                    carrier.eth.ethertype = 0x0800
+                tag = NshTag(self.path_id, index + 1, pkt.meta, nil=nil)
+                encapsulate(carrier, tag)
+                link = self.links[index]
+                link.frames += 1
+                link.bytes += carrier.wire_len
+                if nil:
+                    link.nil_frames += 1
+                # ... wire ...
+                received_tag = decapsulate(carrier)
+                assert received_tag.index == index + 1
+                nil = nil or received_tag.nil
+                if not nil:
+                    current = carrier
+        if nil or current is None:
+            self.dropped += 1
+            return None
+        self.emitted += 1
+        return current

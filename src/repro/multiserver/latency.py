@@ -1,0 +1,119 @@
+"""Latency model for cross-server graphs.
+
+Splitting a graph over servers trades cores for inter-server hops; this
+module quantifies the trade under the calibrated timing model.  Each
+link costs a NIC transmit + wire serialisation (frame + 16 B NSH shim)
++ NIC receive, plus the usual pipeline batch residency at the next
+server's ingress.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.graph import ORIGINAL_VERSION, ServiceGraph
+from ..core.partition import ServerSlice, partition_graph
+from ..sim.params import SimParams
+from .nsh import NSH_LEN
+
+__all__ = ["link_cost_us", "estimate_cross_server_latency", "CrossServerLatency"]
+
+
+def link_cost_us(params: SimParams, packet_size: int) -> float:
+    """One inter-server hop's latency penalty vs a single box.
+
+    The intermediate server pays an *extra* NIC egress (the single box
+    pays only one, at the very end), the frame crosses the link (tx
+    driver + wire serialisation of frame + shim), and the next server
+    pays a NIC ingress plus a fresh classification.  Validated against
+    the timed multi-server DES in
+    ``tests/integration/test_timed_multiserver.py``.
+    """
+    wire_bits = (packet_size + NSH_LEN + 20) * 8
+    wire_us = wire_bits / (params.nic_gbps * 1000.0)
+    return 3 * params.nic_io_us + wire_us + params.classifier_tag_us
+
+
+class CrossServerLatency:
+    """Breakdown of a partitioned graph's zero-load latency."""
+
+    def __init__(
+        self,
+        single_server_us: float,
+        slice_costs_us: List[float],
+        link_cost_each_us: float,
+    ):
+        self.single_server_us = single_server_us
+        self.slice_costs_us = slice_costs_us
+        self.link_cost_each_us = link_cost_each_us
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.slice_costs_us)
+
+    @property
+    def num_links(self) -> int:
+        return max(0, self.num_servers - 1)
+
+    @property
+    def total_us(self) -> float:
+        return sum(self.slice_costs_us) + self.num_links * self.link_cost_each_us
+
+    @property
+    def penalty_us(self) -> float:
+        """Extra latency versus running the whole graph on one box."""
+        return self.total_us - self.single_server_us
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossServerLatency({self.num_servers} servers, "
+            f"{self.total_us:.1f}us total, +{self.penalty_us:.1f}us vs single)"
+        )
+
+
+def _slice_path_cost(
+    graph: ServiceGraph, server_slice: ServerSlice, params: SimParams
+) -> float:
+    """Critical-path cost of one slice: per-stage hop + slowest NF."""
+    cost = 0.0
+    for stage in server_slice.stages:
+        cost += params.batch_wait_us
+        cost += max(
+            params.nf_runtime_us + params.nf_service(entry.node.kind)
+            for entry in stage
+        )
+        # A stage with copy versions pays the slice-local merge.
+        copies_here = {
+            e.version for e in stage if e.version != ORIGINAL_VERSION
+        }
+        if copies_here:
+            cost += params.merge_latency_us
+            cost += len(copies_here) * params.copy_merge_latency_us
+    return cost
+
+
+def estimate_cross_server_latency(
+    graph: ServiceGraph,
+    params: SimParams,
+    cores_per_server: int,
+    packet_size: int = 64,
+) -> CrossServerLatency:
+    """Zero-load latency of the partitioned graph vs the single-box run."""
+    from ..eval.model import nfp_latency_floor
+
+    slices = partition_graph(graph, cores_per_server)
+    single = nfp_latency_floor(graph, params, packet_size=packet_size)
+    slice_costs = [_slice_path_cost(graph, s, params) for s in slices]
+    # Spread the fixed single-box overheads (NIC in/out, classifier,
+    # final merge) over the partitioned total so the comparison isolates
+    # the link penalty.
+    fixed = single - sum(
+        _slice_path_cost(graph, s, params) for s in slices
+    )
+    if slices:
+        slice_costs[0] += max(0.0, fixed)
+    return CrossServerLatency(
+        single_server_us=single,
+        slice_costs_us=slice_costs,
+        link_cost_each_us=link_cost_us(params, packet_size),
+    )

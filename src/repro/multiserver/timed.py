@@ -1,0 +1,145 @@
+"""Timed cross-server execution: chained DES servers over links.
+
+Each slice of a partitioned graph runs as a full simulated NFP server
+(classifier, runtimes, mergers, pinned cores); servers are chained by
+simulated links that NSH-tag each frame, serialise it at the link rate,
+and hand it to the next server's NIC.  Because a slice is itself a
+valid service graph (copy versions live and die inside one stage), the
+slice servers compose without any special-casing -- each merges its
+local copies into version 1 before the frame leaves the box.
+
+End-to-end latency is measured at the last server (packets keep their
+original ingress timestamp across links), so the measured penalty vs a
+single box is the real queueing + serialisation cost of the links.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.graph import ServiceGraph
+from ..core.partition import ServerSlice, partition_graph
+from ..core.graph import CopySpec
+from ..dataplane.server import NFPServer
+from ..net.packet import Packet
+from ..sim import Environment, SimParams
+from .dataplane import slice_merge_ops
+from .nsh import NshTag, decapsulate, encapsulate
+
+__all__ = ["slice_subgraph", "TimedMultiServer"]
+
+
+def slice_subgraph(graph: ServiceGraph, server_slice: ServerSlice) -> ServiceGraph:
+    """A slice re-expressed as a standalone service graph.
+
+    Stage indices of copy specs are rebased to the slice; merge ops are
+    restricted to the slice's copy versions (v1 carries everything else
+    onward).
+    """
+    offset = graph.stages.index(server_slice.stages[0])
+    copies = [
+        CopySpec(c.stage_index - offset, c.version, c.header_only)
+        for c in graph.copies
+        if 0 <= c.stage_index - offset < len(server_slice.stages)
+    ]
+    return ServiceGraph(
+        server_slice.stages,
+        copies=copies,
+        merge_ops=slice_merge_ops(graph, server_slice),
+        name=f"{graph.name}[server{server_slice.server_index}]",
+    )
+
+
+class _Link:
+    """A point-to-point link between two slice servers."""
+
+    def __init__(self, env: Environment, params: SimParams,
+                 downstream: NFPServer, index: int, path_id: int):
+        self.env = env
+        self.params = params
+        self.downstream = downstream
+        self.index = index
+        self.path_id = path_id
+        self.frames = 0
+        self.bytes = 0
+
+    def send(self, pkt: Packet) -> None:
+        tag = NshTag(self.path_id, self.index + 1, pkt.meta)
+        encapsulate(pkt, tag)
+        self.frames += 1
+        self.bytes += pkt.wire_len
+        wire_us = (pkt.wire_len + 20) * 8 / (self.params.nic_gbps * 1000.0)
+
+        def cross():
+            yield self.env.timeout(self.params.nic_io_us + wire_us)
+            decapsulate(pkt)
+            self.downstream.inject(pkt)
+
+        self.env.process(cross())
+
+
+class TimedMultiServer:
+    """A partitioned graph on chained simulated servers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: SimParams,
+        graph: ServiceGraph,
+        cores_per_server: int,
+        num_mergers: int = 1,
+        path_id: int = 1,
+    ):
+        from ..eval.harness import deployed_from_graph
+
+        self.env = env
+        self.params = params
+        self.graph = graph
+        self.slices = partition_graph(graph, cores_per_server)
+        self.servers: List[NFPServer] = []
+        self.links: List[_Link] = []
+
+        for server_slice in self.slices:
+            sub = slice_subgraph(graph, server_slice)
+            server = NFPServer(env, params, num_mergers=num_mergers)
+            server.deploy(deployed_from_graph(sub, mid=path_id))
+            self.servers.append(server)
+
+        # Chain: server i's egress feeds server i+1 through a link.
+        for index in range(len(self.servers) - 1):
+            link = _Link(env, params, self.servers[index + 1], index, path_id)
+            self.links.append(link)
+            self.servers[index].on_emit = link.send
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def head(self) -> NFPServer:
+        return self.servers[0]
+
+    @property
+    def tail(self) -> NFPServer:
+        """Latency/throughput are recorded at the last server."""
+        return self.servers[-1]
+
+    def inject(self, pkt: Packet) -> None:
+        self.head.inject(pkt)
+
+    # ------------------------------------------------------- aggregates
+    @property
+    def delivered(self) -> int:
+        return self.tail.rate.delivered
+
+    @property
+    def lost(self) -> int:
+        return sum(s.lost for s in self.servers)
+
+    @property
+    def nil_dropped(self) -> int:
+        return sum(s.nil_dropped for s in self.servers)
+
+    @property
+    def cores_used(self) -> int:
+        return sum(s.cores_used for s in self.servers)

@@ -1,0 +1,67 @@
+"""Byte-level packet substrate: headers, packets, fields, LPM, crypto.
+
+NFs operate on real packet bytes through this package, which is what lets
+the test suite verify the paper's *result correctness principle* (§4.1)
+functionally: the merged output of a parallel service graph must be
+byte-identical to sequential execution.
+"""
+
+from .checksum import internet_checksum, pseudo_header_checksum
+from .headers import (
+    ETH_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    PROTO_AH,
+    PROTO_TCP,
+    PROTO_UDP,
+    AhView,
+    EthernetView,
+    Ipv4View,
+    TcpView,
+    UdpView,
+    bytes_to_mac,
+    int_to_ip,
+    ip_to_int,
+    mac_to_bytes,
+)
+from .packet import HEADER_COPY_BYTES, Packet, PacketMeta, build_packet
+from .fields import Field, read_field, write_field
+from .lpm import LpmTable
+from .crypto import Aes128, aes_ctr_transform, compute_icv
+from .ah import insert_ah, remove_ah, verify_ah
+from .pcap import PcapError, read_pcap, write_pcap
+
+__all__ = [
+    "internet_checksum",
+    "pseudo_header_checksum",
+    "ETH_HEADER_LEN",
+    "ETHERTYPE_IPV4",
+    "PROTO_AH",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "EthernetView",
+    "Ipv4View",
+    "TcpView",
+    "UdpView",
+    "AhView",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "Packet",
+    "PacketMeta",
+    "build_packet",
+    "HEADER_COPY_BYTES",
+    "Field",
+    "read_field",
+    "write_field",
+    "LpmTable",
+    "Aes128",
+    "aes_ctr_transform",
+    "compute_icv",
+    "insert_ah",
+    "remove_ah",
+    "verify_ah",
+    "write_pcap",
+    "read_pcap",
+    "PcapError",
+]

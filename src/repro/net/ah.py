@@ -1,0 +1,85 @@
+"""IPsec Authentication Header insertion/removal (transport-style).
+
+The VPN NF implements "the tunnel mode of IPsec Authentication Header
+(AH) protocol" (§6.1).  For the dataplane the structurally relevant part
+is that a 24-byte AH is spliced between the IPv4 header and the L4
+segment and later removed -- the add/remove actions of Table 2.  These
+helpers perform the splice, fix up the IPv4 protocol/length/checksum
+fields, and stamp/verify the ICV.
+"""
+
+from __future__ import annotations
+
+from .crypto import compute_icv
+from .headers import ETH_HEADER_LEN, PROTO_AH, AhView
+from .packet import Packet
+
+__all__ = ["insert_ah", "remove_ah", "verify_ah"]
+
+
+def insert_ah(pkt: Packet, spi: int, seq: int, icv_key: bytes) -> None:
+    """Splice an AH between the IPv4 header and the rest of the packet.
+
+    The ICV is computed over the (immutable-field) IPv4 header and the
+    payload that follows the AH, per RFC 4302's spirit.
+    """
+    ip = pkt.ipv4
+    if ip.protocol == PROTO_AH:
+        raise ValueError("packet already carries an AH")
+    ip_end = ETH_HEADER_LEN + ip.header_len
+    next_header = ip.protocol
+
+    ah_bytes = bytearray(AhView.HEADER_LEN)
+    pkt.buf[ip_end:ip_end] = ah_bytes  # splice in place
+
+    ip = pkt.ipv4  # re-view after the splice
+    ip.protocol = PROTO_AH
+    ip.total_length = ip.total_length + AhView.HEADER_LEN
+
+    ah = AhView(pkt.buf, ip_end)
+    ah.next_header = next_header
+    # AH "payload len" = header length in 32-bit words minus 2.
+    ah.payload_len = AhView.HEADER_LEN // 4 - 2
+    ah.spi = spi
+    ah.seq = seq
+    ah.icv = compute_icv(icv_key, _icv_scope(pkt, ip_end))
+
+    ip.update_checksum()
+    pkt.wire_len += AhView.HEADER_LEN
+
+
+def remove_ah(pkt: Packet, icv_key: bytes = b"", verify: bool = False) -> None:
+    """Strip the AH, restoring the original protocol and lengths."""
+    ip = pkt.ipv4
+    if ip.protocol != PROTO_AH:
+        raise ValueError("packet carries no AH")
+    ip_end = ETH_HEADER_LEN + ip.header_len
+    ah = AhView(pkt.buf, ip_end)
+    if verify and not verify_ah(pkt, icv_key):
+        raise ValueError("AH integrity check failed")
+    next_header = ah.next_header
+    del pkt.buf[ip_end : ip_end + AhView.HEADER_LEN]
+
+    ip = pkt.ipv4
+    ip.protocol = next_header
+    ip.total_length = ip.total_length - AhView.HEADER_LEN
+    ip.update_checksum()
+    pkt.wire_len -= AhView.HEADER_LEN
+
+
+def verify_ah(pkt: Packet, icv_key: bytes) -> bool:
+    """Recompute the ICV and compare with the one in the packet."""
+    ip = pkt.ipv4
+    if ip.protocol != PROTO_AH:
+        return False
+    ip_end = ETH_HEADER_LEN + ip.header_len
+    ah = AhView(pkt.buf, ip_end)
+    return ah.icv == compute_icv(icv_key, _icv_scope(pkt, ip_end))
+
+
+def _icv_scope(pkt: Packet, ip_end: int) -> bytes:
+    """Bytes covered by the ICV: src/dst IPs plus everything after the AH."""
+    ip = pkt.ipv4
+    addresses = bytes(pkt.buf[ETH_HEADER_LEN + 12 : ETH_HEADER_LEN + 20])
+    after_ah = bytes(pkt.buf[ip_end + AhView.HEADER_LEN :])
+    return addresses + after_ah

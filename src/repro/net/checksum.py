@@ -1,0 +1,43 @@
+"""RFC 1071 Internet checksum and the TCP/UDP pseudo-header variant."""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "pseudo_header_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    Odd-length input is virtually padded with a trailing zero byte, as the
+    RFC specifies.
+    """
+    total = 0
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header_checksum(
+    src_ip: bytes, dst_ip: bytes, protocol: int, payload: bytes
+) -> int:
+    """Checksum over the IPv4 pseudo-header plus an L4 segment.
+
+    Used for TCP (protocol 6) and UDP (protocol 17) checksums.  ``src_ip``
+    and ``dst_ip`` are 4-byte network-order addresses; ``payload`` is the
+    entire L4 header+data with its checksum field zeroed.
+    """
+    if len(src_ip) != 4 or len(dst_ip) != 4:
+        raise ValueError("IPv4 addresses must be 4 bytes")
+    if not 0 <= protocol <= 255:
+        raise ValueError("protocol must be one byte")
+    pseudo = bytes(src_ip) + bytes(dst_ip) + bytes(
+        [0, protocol, (len(payload) >> 8) & 0xFF, len(payload) & 0xFF]
+    )
+    return internet_checksum(pseudo + bytes(payload))

@@ -1,0 +1,109 @@
+"""Longest-prefix-match table (binary trie), used by the L3 Forwarder NF.
+
+The paper's L3 Forwarder "obtains the matching entry from a longest
+prefix matching table with 1000 entries to find out the next hop" (§6.1).
+This is a classic bitwise trie over IPv4 destination addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from .headers import int_to_ip, ip_to_int
+
+__all__ = ["LpmTable"]
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self):
+        self.children = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class LpmTable:
+    """IPv4 longest-prefix-match routing table.
+
+    >>> t = LpmTable()
+    >>> t.insert("10.0.0.0", 8, "hop-a")
+    >>> t.insert("10.1.0.0", 16, "hop-b")
+    >>> t.lookup("10.1.2.3")
+    'hop-b'
+    >>> t.lookup("10.9.9.9")
+    'hop-a'
+    """
+
+    def __init__(self):
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _bits(address_int: int, prefix_len: int) -> Iterator[int]:
+        for shift in range(31, 31 - prefix_len, -1):
+            yield (address_int >> shift) & 1
+
+    def insert(self, prefix: str, prefix_len: int, value: Any) -> None:
+        """Insert (or replace) a route ``prefix/prefix_len -> value``."""
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {prefix_len}")
+        node = self._root
+        for bit in self._bits(ip_to_int(prefix), prefix_len):
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._size += 1
+        node.has_value = True
+        node.value = value
+
+    def lookup(self, address: str) -> Optional[Any]:
+        """Return the value of the longest matching prefix, or ``None``."""
+        return self.lookup_int(ip_to_int(address))
+
+    def lookup_int(self, address_int: int) -> Optional[Any]:
+        node = self._root
+        best: Optional[Any] = node.value if node.has_value else None
+        for shift in range(31, -1, -1):
+            bit = (address_int >> shift) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def remove(self, prefix: str, prefix_len: int) -> bool:
+        """Delete a route; returns whether it existed.
+
+        Child nodes are left in place (no path compression) -- removal is
+        rare in the forwarding path and correctness is what matters.
+        """
+        node = self._root
+        for bit in self._bits(ip_to_int(prefix), prefix_len):
+            node = node.children[bit]
+            if node is None:
+                return False
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def routes(self) -> Iterator[Tuple[str, int, Any]]:
+        """Iterate all (prefix, length, value) routes in the table."""
+
+        def walk(node: _Node, bits: int, depth: int):
+            if node.has_value:
+                yield (int_to_ip(bits << (32 - depth) if depth else 0), depth, node.value)
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, (bits << 1) | bit, depth + 1)
+
+        yield from walk(self._root, 0, 0)

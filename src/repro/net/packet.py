@@ -1,0 +1,363 @@
+"""The packet object: buffer, metadata, header views, copy semantics.
+
+A :class:`Packet` owns a mutable ``bytearray`` holding the full frame,
+exactly like a DPDK mbuf, and exposes lazily-constructed header views.
+NFs mutate packets *in place* through the views; the dataplane passes
+:class:`Packet` references between rings (zero-copy, §5).
+
+:class:`PacketMeta` is the 64-bit metadata word the NFP classifier tags
+onto every packet (Fig. 5): 20-bit Match ID, 40-bit Packet ID and 4-bit
+version.
+
+Header-only copying (§4.2 OP#2) is implemented by
+:meth:`Packet.header_copy`: only the first 64 bytes are copied and the
+IPv4 total-length field of the copy is rewritten to cover just the copied
+bytes, "ensuring that parallel NFs receive valid packets".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from .headers import (
+    ETH_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    PROTO_AH,
+    PROTO_TCP,
+    PROTO_UDP,
+    AhView,
+    EthernetView,
+    Ipv4View,
+    TcpView,
+    UdpView,
+)
+
+__all__ = ["Packet", "PacketMeta", "build_packet", "HEADER_COPY_BYTES"]
+
+#: Bytes copied by header-only copying.  The paper fixes this at 64 B for
+#: TCP traffic on Ethernet (Eth 14 + IPv4 20 + TCP 20 + slack).
+HEADER_COPY_BYTES = 64
+
+_serial = itertools.count(1)
+
+
+class PacketMeta:
+    """The 64-bit NFP metadata word (Fig. 5).
+
+    Fields
+    ------
+    mid:
+        20-bit Match ID -- identifies the service graph the packet
+        follows ("twenty bits of MID could express 1M service graphs").
+    pid:
+        40-bit Packet ID -- unique per packet within a flow, immutable,
+        used by the merger agent's hash.
+    version:
+        4-bit copy version; the classifier tags the original as 1.
+    """
+
+    MID_BITS = 20
+    PID_BITS = 40
+    VERSION_BITS = 4
+
+    __slots__ = ("mid", "pid", "version")
+
+    def __init__(self, mid: int = 0, pid: int = 0, version: int = 1):
+        if not 0 <= mid < (1 << self.MID_BITS):
+            raise ValueError(f"MID out of 20-bit range: {mid}")
+        if not 0 <= pid < (1 << self.PID_BITS):
+            raise ValueError(f"PID out of 40-bit range: {pid}")
+        if not 0 <= version < (1 << self.VERSION_BITS):
+            raise ValueError(f"version out of 4-bit range: {version}")
+        self.mid = mid
+        self.pid = pid
+        self.version = version
+
+    def pack(self) -> int:
+        """Encode as the 64-bit integer laid out as MID|PID|version."""
+        return (self.mid << (self.PID_BITS + self.VERSION_BITS)) | (
+            self.pid << self.VERSION_BITS
+        ) | self.version
+
+    @classmethod
+    def unpack(cls, word: int) -> "PacketMeta":
+        version = word & ((1 << cls.VERSION_BITS) - 1)
+        pid = (word >> cls.VERSION_BITS) & ((1 << cls.PID_BITS) - 1)
+        mid = word >> (cls.PID_BITS + cls.VERSION_BITS)
+        return cls(mid=mid, pid=pid, version=version)
+
+    def clone(self, version: Optional[int] = None) -> "PacketMeta":
+        return PacketMeta(self.mid, self.pid, self.version if version is None else version)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PacketMeta)
+            and (self.mid, self.pid, self.version)
+            == (other.mid, other.pid, other.version)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mid, self.pid, self.version))
+
+    def __repr__(self) -> str:
+        return f"PacketMeta(mid={self.mid}, pid={self.pid}, version={self.version})"
+
+
+class Packet:
+    """A mutable network frame plus NFP metadata.
+
+    ``wire_len`` records the original frame size even for header-only
+    copies (whose buffer holds just 64 bytes), so throughput and resource
+    accounting always see true wire sizes.
+    """
+
+    __slots__ = (
+        "buf",
+        "meta",
+        "wire_len",
+        "is_header_copy",
+        "nil",
+        "uid",
+        "ingress_us",
+        "trace",
+        "timeline",
+    )
+
+    def __init__(
+        self,
+        buf: bytearray,
+        meta: Optional[PacketMeta] = None,
+        wire_len: Optional[int] = None,
+        is_header_copy: bool = False,
+    ):
+        self.buf = buf
+        self.meta = meta
+        self.wire_len = len(buf) if wire_len is None else wire_len
+        self.is_header_copy = is_header_copy
+        #: A nil packet conveys a drop intention to the merger (§5.3).
+        self.nil = False
+        self.uid = next(_serial)
+        #: Simulation timestamp of NIC arrival, for latency accounting.
+        self.ingress_us = 0.0
+        #: Names of NFs that processed this packet, for tests/debugging.
+        self.trace: list = []
+        #: Optional (label, timestamp) checkpoints recorded by the DES
+        #: when timeline instrumentation is enabled.
+        self.timeline: Optional[list] = None
+
+    def stamp(self, label: str, now_us: float) -> None:
+        """Record a timeline checkpoint (no-op unless enabled)."""
+        if self.timeline is not None:
+            self.timeline.append((label, now_us))
+
+    # ------------------------------------------------------------ views
+    @property
+    def eth(self) -> EthernetView:
+        return EthernetView(self.buf, 0)
+
+    @property
+    def ipv4(self) -> Ipv4View:
+        if self.eth.ethertype != ETHERTYPE_IPV4:
+            raise ValueError("packet is not IPv4")
+        return Ipv4View(self.buf, ETH_HEADER_LEN)
+
+    @property
+    def has_ah(self) -> bool:
+        try:
+            return self.ipv4.protocol == PROTO_AH
+        except ValueError:
+            return False
+
+    @property
+    def ah(self) -> AhView:
+        ip = self.ipv4
+        if ip.protocol != PROTO_AH:
+            raise ValueError("packet has no Authentication Header")
+        return AhView(self.buf, ETH_HEADER_LEN + ip.header_len)
+
+    def _l4_offset(self) -> int:
+        ip = self.ipv4
+        offset = ETH_HEADER_LEN + ip.header_len
+        if ip.protocol == PROTO_AH:
+            offset += AhView.HEADER_LEN
+        return offset
+
+    @property
+    def l4_protocol(self) -> int:
+        """The transport protocol, looking through an AH if present."""
+        ip = self.ipv4
+        if ip.protocol == PROTO_AH:
+            return self.ah.next_header
+        return ip.protocol
+
+    @property
+    def tcp(self) -> TcpView:
+        if self.l4_protocol != PROTO_TCP:
+            raise ValueError("packet is not TCP")
+        return TcpView(self.buf, self._l4_offset())
+
+    @property
+    def udp(self) -> UdpView:
+        if self.l4_protocol != PROTO_UDP:
+            raise ValueError("packet is not UDP")
+        return UdpView(self.buf, self._l4_offset())
+
+    @property
+    def payload_offset(self) -> int:
+        offset = self._l4_offset()
+        proto = self.l4_protocol
+        if proto == PROTO_TCP:
+            offset += TcpView(self.buf, offset).header_len
+        elif proto == PROTO_UDP:
+            offset += UdpView.HEADER_LEN
+        return offset
+
+    @property
+    def payload(self) -> bytes:
+        return bytes(self.buf[self.payload_offset :])
+
+    def set_payload(self, data: bytes) -> None:
+        """Replace the L4 payload in place (same length only).
+
+        NFs that change payload length must use add/remove header
+        primitives instead, so that length bookkeeping stays consistent.
+        """
+        start = self.payload_offset
+        if len(data) != len(self.buf) - start:
+            raise ValueError("set_payload must preserve length")
+        self.buf[start:] = data
+
+    def five_tuple(self) -> tuple:
+        """(src_ip, dst_ip, proto, sport, dport) -- the classifier key."""
+        ip = self.ipv4
+        proto = self.l4_protocol
+        if proto == PROTO_TCP:
+            l4 = self.tcp
+            return (ip.src_ip, ip.dst_ip, proto, l4.src_port, l4.dst_port)
+        if proto == PROTO_UDP:
+            l4 = self.udp
+            return (ip.src_ip, ip.dst_ip, proto, l4.src_port, l4.dst_port)
+        return (ip.src_ip, ip.dst_ip, proto, 0, 0)
+
+    # ------------------------------------------------------------ copies
+    def full_copy(self, version: int) -> "Packet":
+        """Deep copy of the whole frame, tagged with a new version."""
+        copy = Packet(
+            bytearray(self.buf),
+            meta=self.meta.clone(version) if self.meta else None,
+            wire_len=self.wire_len,
+        )
+        copy.ingress_us = self.ingress_us
+        return copy
+
+    def header_copy(self, version: int, nbytes: int = HEADER_COPY_BYTES) -> "Packet":
+        """Header-only copy (§4.2 OP#2).
+
+        Copies the first ``nbytes`` bytes (64 by default, the paper's
+        figure for plain TCP on Ethernet) and rewrites the copy's IPv4
+        total-length field to the length of the copied IP portion, so
+        the copy is a self-consistent (payload-less) packet.  When the
+        header stack is taller than ``nbytes`` (e.g. an AH has been
+        inserted), the copy grows to cover it -- parallel NFs must
+        always receive valid headers.
+        """
+        try:
+            nbytes = max(nbytes, self.payload_offset)
+        except ValueError:
+            pass  # not IPv4/TCP/UDP: keep the requested size
+        nbytes = min(nbytes, len(self.buf))
+        copy = Packet(
+            bytearray(self.buf[:nbytes]),
+            meta=self.meta.clone(version) if self.meta else None,
+            wire_len=self.wire_len,
+            is_header_copy=True,
+        )
+        copy.ingress_us = self.ingress_us
+        if nbytes >= ETH_HEADER_LEN + Ipv4View.HEADER_LEN and (
+            self.eth.ethertype == ETHERTYPE_IPV4
+        ):
+            ip = Ipv4View(copy.buf, ETH_HEADER_LEN)
+            ip.total_length = nbytes - ETH_HEADER_LEN
+        return copy
+
+    def make_nil(self) -> "Packet":
+        """A nil packet carrying this packet's metadata (drop intent)."""
+        nil = Packet(bytearray(0), meta=self.meta, wire_len=0)
+        nil.nil = True
+        nil.ingress_us = self.ingress_us
+        return nil
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "nil" if self.nil else f"{len(self.buf)}B"
+        return f"<Packet #{self.uid} {kind} meta={self.meta}>"
+
+
+def build_packet(
+    src_ip: str = "10.0.0.1",
+    dst_ip: str = "10.0.0.2",
+    src_port: int = 10000,
+    dst_port: int = 80,
+    protocol: int = PROTO_TCP,
+    payload: bytes = b"",
+    size: Optional[int] = None,
+    ttl: int = 64,
+    src_mac: str = "02:00:00:00:00:01",
+    dst_mac: str = "02:00:00:00:00:02",
+    identification: Optional[int] = None,
+) -> Packet:
+    """Construct a valid Ethernet/IPv4/TCP-or-UDP frame.
+
+    If ``size`` is given, the payload is zero-padded (or the call fails if
+    headers alone exceed ``size``).  Checksums are filled in.
+    """
+    l4_len = TcpView.HEADER_LEN if protocol == PROTO_TCP else UdpView.HEADER_LEN
+    header_len = ETH_HEADER_LEN + Ipv4View.HEADER_LEN + l4_len
+    if size is not None:
+        if size < header_len:
+            raise ValueError(
+                f"requested size {size} smaller than headers ({header_len} B)"
+            )
+        pad = size - header_len - len(payload)
+        if pad < 0:
+            raise ValueError("payload does not fit in requested size")
+        payload = payload + bytes(pad)
+    buf = bytearray(header_len + len(payload))
+    pkt = Packet(buf)
+
+    eth = pkt.eth
+    eth.src_mac = src_mac
+    eth.dst_mac = dst_mac
+    eth.ethertype = ETHERTYPE_IPV4
+
+    ip = Ipv4View(buf, ETH_HEADER_LEN)
+    buf[ETH_HEADER_LEN] = 0x45  # version 4, IHL 5
+    ip.total_length = len(buf) - ETH_HEADER_LEN
+    ip.ttl = ttl
+    ip.protocol = protocol
+    ip.src_ip = src_ip
+    ip.dst_ip = dst_ip
+    ip.identification = (pkt.uid if identification is None else identification) & 0xFFFF
+
+    l4_off = ETH_HEADER_LEN + Ipv4View.HEADER_LEN
+    if protocol == PROTO_TCP:
+        buf[l4_off + 12] = 5 << 4  # data offset = 5 words
+        tcp = TcpView(buf, l4_off)
+        tcp.src_port = src_port
+        tcp.dst_port = dst_port
+        tcp.window = 65535
+        buf[l4_off + TcpView.HEADER_LEN :] = payload
+    elif protocol == PROTO_UDP:
+        udp = UdpView(buf, l4_off)
+        udp.src_port = src_port
+        udp.dst_port = dst_port
+        udp.length = UdpView.HEADER_LEN + len(payload)
+        buf[l4_off + UdpView.HEADER_LEN :] = payload
+    else:
+        raise ValueError(f"unsupported L4 protocol: {protocol}")
+
+    ip.update_checksum()
+    return pkt

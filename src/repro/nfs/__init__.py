@@ -1,0 +1,60 @@
+"""Network function implementations (§6.1 prototypes + Table 2 extras).
+
+Each NF registers under its *kind* name, matching its action-table row:
+forwarder, loadbalancer, firewall, ids/nids/ips, vpn/vpn-decrypt,
+monitor, nat, caching, gateway, proxy, compression, shaper.
+"""
+
+from .base import (
+    NetworkFunction,
+    ProcessingContext,
+    create_nf,
+    nf_class,
+    register_nf_class,
+    registered_kinds,
+)
+from .aho_corasick import AhoCorasick
+from .forwarder import L3Forwarder, build_routing_table
+from .firewall import AclRule, Firewall, build_acl
+from .monitor import FlowStats, Monitor
+from .loadbalancer import LoadBalancer
+from .vpn import DEFAULT_VPN_KEY, VpnDecryptor, VpnEncryptor
+from .ids import Ids, Ips, Nids, Signature, build_signatures
+from .nat import Nat, NatBinding
+from .misc import Caching, Compression, Gateway, Proxy, TrafficShaper
+from .conntrack import ConnState, ConnTrackFirewall
+
+__all__ = [
+    "NetworkFunction",
+    "ProcessingContext",
+    "register_nf_class",
+    "create_nf",
+    "nf_class",
+    "registered_kinds",
+    "AhoCorasick",
+    "L3Forwarder",
+    "build_routing_table",
+    "Firewall",
+    "AclRule",
+    "build_acl",
+    "Monitor",
+    "FlowStats",
+    "LoadBalancer",
+    "VpnEncryptor",
+    "VpnDecryptor",
+    "DEFAULT_VPN_KEY",
+    "Ids",
+    "Nids",
+    "Ips",
+    "Signature",
+    "build_signatures",
+    "Nat",
+    "NatBinding",
+    "Caching",
+    "Gateway",
+    "Proxy",
+    "Compression",
+    "TrafficShaper",
+    "ConnTrackFirewall",
+    "ConnState",
+]

@@ -1,0 +1,87 @@
+"""Aho-Corasick multi-pattern matcher, the IDS/NIDS signature engine.
+
+The paper's IDS is "a simple NF similar to the core signature matching
+component of the Snort intrusion detection system with 100 signature
+inspection rules" (§6.1).  Snort's fast pattern matcher is Aho-Corasick;
+we build the classic automaton: trie + BFS failure links, streaming
+byte-at-a-time matching over packet payloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+__all__ = ["AhoCorasick"]
+
+
+class _State:
+    __slots__ = ("next", "fail", "outputs")
+
+    def __init__(self):
+        self.next: Dict[int, "_State"] = {}
+        self.fail: "_State" = None  # type: ignore[assignment]
+        self.outputs: List[int] = []  # pattern indices ending here
+
+
+class AhoCorasick:
+    """Immutable multi-pattern byte matcher.
+
+    >>> ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+    >>> sorted(pat for pat, _ in ac.findall(b"ushers"))
+    [b'he', b'hers', b'she']
+    """
+
+    def __init__(self, patterns: Iterable[bytes]):
+        self.patterns: List[bytes] = [bytes(p) for p in patterns]
+        if any(not p for p in self.patterns):
+            raise ValueError("empty pattern not allowed")
+        self._root = _State()
+        self._build_trie()
+        self._build_failure_links()
+
+    def _build_trie(self) -> None:
+        for index, pattern in enumerate(self.patterns):
+            node = self._root
+            for byte in pattern:
+                node = node.next.setdefault(byte, _State())
+            node.outputs.append(index)
+
+    def _build_failure_links(self) -> None:
+        self._root.fail = self._root
+        queue: deque = deque()
+        for child in self._root.next.values():
+            child.fail = self._root
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for byte, child in node.next.items():
+                queue.append(child)
+                fail = node.fail
+                while fail is not self._root and byte not in fail.next:
+                    fail = fail.fail
+                child.fail = fail.next.get(byte, self._root)
+                if child.fail is child:
+                    child.fail = self._root
+                child.outputs += child.fail.outputs
+
+    def finditer(self, data: bytes) -> Iterator[Tuple[int, int]]:
+        """Yield (pattern_index, end_offset) for every match in ``data``."""
+        node = self._root
+        for offset, byte in enumerate(data):
+            while node is not self._root and byte not in node.next:
+                node = node.fail
+            node = node.next.get(byte, self._root)
+            for pattern_index in node.outputs:
+                yield pattern_index, offset + 1
+
+    def findall(self, data: bytes) -> List[Tuple[bytes, int]]:
+        """All matches as (pattern, end_offset) pairs."""
+        return [(self.patterns[i], end) for i, end in self.finditer(data)]
+
+    def match_count(self, data: bytes) -> int:
+        """Number of matches (an IDS alert counter)."""
+        return sum(1 for _ in self.finditer(data))
+
+    def __len__(self) -> int:
+        return len(self.patterns)

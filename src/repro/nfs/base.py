@@ -1,0 +1,139 @@
+"""NF programming model: how network functions plug into NFP.
+
+NFP "provides NFs with interfaces to access and modify packets, and an
+NF runtime to drop or deliver packets after processing" (§5.4).  Here an
+NF subclasses :class:`NetworkFunction` and implements ``process(pkt,
+ctx)``, mutating the packet in place through the :mod:`repro.net` views
+and signalling drops through the :class:`ProcessingContext`.  The NF
+never forwards packets itself -- delivery is the runtime's job, keeping
+parallelism transparent to NF authors.
+
+A registry maps NF *kind* names (matching the action-table rows) to
+implementations, so policies, profiles and code line up by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+from ..net.packet import Packet
+
+__all__ = [
+    "ProcessingContext",
+    "NetworkFunction",
+    "register_nf_class",
+    "create_nf",
+    "nf_class",
+    "registered_kinds",
+]
+
+
+class ProcessingContext:
+    """Per-packet side channel between an NF and its runtime.
+
+    The only cross-cutting signal the paper's runtime needs is the drop
+    intention (which becomes a nil packet toward the merger, §5.3).
+    """
+
+    __slots__ = ("dropped", "drop_reason")
+
+    def __init__(self):
+        self.dropped = False
+        self.drop_reason: Optional[str] = None
+
+    def drop(self, reason: str = "") -> None:
+        """Convey a drop intention to the NF runtime."""
+        self.dropped = True
+        self.drop_reason = reason or None
+
+
+class NetworkFunction:
+    """Base class for all NFs.
+
+    Subclasses set ``KIND`` (the action-table row name) and implement
+    :meth:`process`.  Instances carry state (counters, tables, flow
+    maps); the base class tracks the universal statistics.
+    """
+
+    #: Action-table kind; subclasses must override.
+    KIND = ""
+
+    def __init__(self, name: Optional[str] = None):
+        if not self.KIND:
+            raise TypeError(f"{type(self).__name__} does not define KIND")
+        self.name = name or self.KIND
+        self.rx_packets = 0
+        self.dropped_packets = 0
+        self.errors = 0
+        #: Extra per-packet busy-loop cycles (the Fig. 9 complexity knob).
+        self.extra_cycles = 0
+
+    # ------------------------------------------------------------ NF logic
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        """Handle one packet; mutate it in place or ``ctx.drop()`` it."""
+        raise NotImplementedError
+
+    def handle(self, pkt: Packet) -> ProcessingContext:
+        """Run :meth:`process` with bookkeeping; returns the context.
+
+        A crashing NF is contained: the exception is recorded and the
+        packet is dropped (a middlebox fault must not take down the
+        dataplane), mirroring how the paper's per-container isolation
+        limits the blast radius of a buggy NF.
+        """
+        ctx = ProcessingContext()
+        self.rx_packets += 1
+        try:
+            self.process(pkt, ctx)
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            self.errors += 1
+            ctx.drop(f"nf-error: {exc}")
+        if ctx.dropped:
+            self.dropped_packets += 1
+        else:
+            pkt.trace.append(self.name)
+        return ctx
+
+    def reset_stats(self) -> None:
+        self.rx_packets = 0
+        self.dropped_packets = 0
+        self.errors = 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Type[NetworkFunction]] = {}
+
+
+def register_nf_class(cls: Type[NetworkFunction]) -> Type[NetworkFunction]:
+    """Class decorator: register an NF implementation under its KIND."""
+    if not issubclass(cls, NetworkFunction):
+        raise TypeError("only NetworkFunction subclasses can be registered")
+    if not cls.KIND:
+        raise ValueError(f"{cls.__name__} must define KIND")
+    kind = cls.KIND.lower()
+    if kind in _REGISTRY and _REGISTRY[kind] is not cls:
+        raise ValueError(f"NF kind {kind!r} already registered")
+    _REGISTRY[kind] = cls
+    return cls
+
+
+def nf_class(kind: str) -> Type[NetworkFunction]:
+    """Look up the implementation class for an NF kind."""
+    try:
+        return _REGISTRY[kind.lower()]
+    except KeyError:
+        raise KeyError(
+            f"no NF implementation registered for kind {kind!r}; "
+            f"known kinds: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_nf(kind: str, name: Optional[str] = None, **kwargs: Any) -> NetworkFunction:
+    """Instantiate an NF by kind name."""
+    return nf_class(kind)(name=name, **kwargs)
+
+
+def registered_kinds() -> list:
+    return sorted(_REGISTRY)

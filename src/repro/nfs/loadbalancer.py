@@ -1,0 +1,67 @@
+"""Load Balancer NF (§6.1): ECMP over backend servers.
+
+"We implement the commonly used ECMP mechanism in data centers that
+hashed the 5-tuple of the packet to balance the load."  Acting as a
+full-proxy VIP (the F5/A10 style of Table 2), it rewrites the
+destination IP to the chosen backend and the source IP to its virtual
+IP -- hence the Write(SIP)/Write(DIP) profile.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional
+
+from ..net.packet import Packet
+from .base import NetworkFunction, ProcessingContext, register_nf_class
+
+__all__ = ["LoadBalancer"]
+
+DEFAULT_BACKENDS = tuple(f"172.16.0.{i}" for i in range(1, 9))
+
+
+@register_nf_class
+class LoadBalancer(NetworkFunction):
+    """ECMP 5-tuple-hash load balancer with a virtual IP."""
+
+    KIND = "loadbalancer"
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        backends: Optional[List[str]] = None,
+        vip: str = "10.255.0.1",
+    ):
+        super().__init__(name)
+        self.backends = (
+            list(DEFAULT_BACKENDS) if backends is None else list(backends)
+        )
+        if not self.backends:
+            raise ValueError("load balancer needs at least one backend")
+        self.vip = vip
+        self.per_backend: Dict[str, int] = {b: 0 for b in self.backends}
+
+    @staticmethod
+    def _ecmp_hash(five_tuple) -> int:
+        """Deterministic 5-tuple hash (CRC32, like hardware ECMP)."""
+        return zlib.crc32(repr(five_tuple).encode())
+
+    def pick_backend(self, pkt: Packet) -> str:
+        return self.backends[self._ecmp_hash(pkt.five_tuple()) % len(self.backends)]
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        backend = self.pick_backend(pkt)
+        self.per_backend[backend] += 1
+        ip = pkt.ipv4
+        ip.dst_ip = backend
+        ip.src_ip = self.vip
+        ip.update_checksum()
+
+    def imbalance(self) -> float:
+        """max/mean backend load ratio (1.0 = perfectly balanced)."""
+        counts = list(self.per_backend.values())
+        total = sum(counts)
+        if total == 0:
+            return 1.0
+        mean = total / len(counts)
+        return max(counts) / mean if mean else 1.0

@@ -1,0 +1,178 @@
+"""The remaining Table 2 NFs: caching, gateway, proxy, compression, shaper.
+
+These complete the action-table population so the §4.3 pair statistics
+run over real implementations, and give examples more NFs to chain.
+Where the real middlebox would change packet length (compression,
+proxy rewriting), we apply length-preserving transforms so the merge
+machinery's fixed-field model holds; DESIGN.md records the
+simplification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..net.packet import Packet
+from .base import NetworkFunction, ProcessingContext, register_nf_class
+
+__all__ = ["Caching", "Gateway", "Proxy", "Compression", "TrafficShaper"]
+
+
+@register_nf_class
+class Caching(NetworkFunction):
+    """nginx-style cache front end: classify requests as hits or misses.
+
+    Read-only (Table 2: R on DIP, DPORT, Payload): hashes the request
+    key (destination + payload prefix) against a simulated cache
+    population.
+    """
+
+    KIND = "caching"
+
+    def __init__(
+        self, name: Optional[str] = None, hit_ratio: float = 0.8, seed: int = 31
+    ):
+        super().__init__(name)
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ValueError("hit ratio must be in [0, 1]")
+        self.hit_ratio = hit_ratio
+        self._seed = seed
+        self.hits = 0
+        self.misses = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        ip = pkt.ipv4
+        key = (ip.dst_ip, pkt.udp.dst_port if pkt.l4_protocol == 17 else pkt.tcp.dst_port)
+        digest = hashlib.blake2s(
+            repr((key, pkt.payload[:16], self._seed)).encode(), digest_size=4
+        ).digest()
+        bucket = int.from_bytes(digest, "big") / 0xFFFFFFFF
+        if bucket < self.hit_ratio:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def observed_hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@register_nf_class
+class Gateway(NetworkFunction):
+    """Cisco MGX-style gateway: per-peer accounting on src/dst addresses.
+
+    Read-only (Table 2: R on SIP, DIP).
+    """
+
+    KIND = "gateway"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.per_pair: Dict[Tuple[str, str], int] = {}
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        ip = pkt.ipv4
+        pair = (ip.src_ip, ip.dst_ip)
+        self.per_pair[pair] = self.per_pair.get(pair, 0) + 1
+
+    def pair_count(self) -> int:
+        return len(self.per_pair)
+
+
+@register_nf_class
+class Proxy(NetworkFunction):
+    """Squid-style forward proxy: redirect to an origin, rewrite request.
+
+    Table 2 gives R/W on DIP and Payload: the proxy steers the flow to a
+    configured origin server and stamps a via-tag into the payload head
+    (length-preserving stand-in for header rewriting).
+    """
+
+    KIND = "proxy"
+
+    VIA_TAG = b"via-nfp-proxy:"
+
+    def __init__(self, name: Optional[str] = None, origin: str = "198.51.100.10"):
+        super().__init__(name)
+        self.origin = origin
+        self.redirected = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        ip = pkt.ipv4
+        ip.dst_ip = self.origin
+        ip.update_checksum()
+        payload = pkt.payload
+        if len(payload) >= len(self.VIA_TAG):
+            stamped = self.VIA_TAG + payload[len(self.VIA_TAG):]
+            pkt.set_payload(stamped)
+        self.redirected += 1
+
+
+@register_nf_class
+class Compression(NetworkFunction):
+    """Cisco IOS-style payload codec (Table 2: R/W Payload).
+
+    Real LZ compression changes packet length; to keep the dataplane's
+    fixed-length field model we apply an involutive byte transform (a
+    keyed XOR whitening pass): calling the NF twice restores the
+    payload, so a codec pair round-trips like compress/decompress.
+    """
+
+    KIND = "compression"
+
+    def __init__(self, name: Optional[str] = None, key: int = 0x5A):
+        super().__init__(name)
+        if not 0 <= key <= 0xFF:
+            raise ValueError("key must be one byte")
+        self.key = key
+        self.processed_bytes = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        payload = pkt.payload
+        if payload:
+            pkt.set_payload(bytes(b ^ self.key for b in payload))
+            self.processed_bytes += len(payload)
+
+
+@register_nf_class
+class TrafficShaper(NetworkFunction):
+    """linux-tc-style token bucket: polices a rate, never edits packets.
+
+    Tokens refill with (virtual) time supplied by the caller via
+    :meth:`advance_time`; out-of-profile packets are counted (and
+    optionally dropped when ``police`` is set).
+    """
+
+    KIND = "shaper"
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        rate_bytes_per_us: float = 1250.0,  # 10 Gbit/s
+        burst_bytes: int = 15000,
+        police: bool = False,
+    ):
+        super().__init__(name)
+        if rate_bytes_per_us <= 0 or burst_bytes <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate_bytes_per_us
+        self.burst = burst_bytes
+        self.police = police
+        self.tokens = float(burst_bytes)
+        self.out_of_profile = 0
+        self._last_time = 0.0
+
+    def advance_time(self, now_us: float) -> None:
+        if now_us < self._last_time:
+            return
+        self.tokens = min(self.burst, self.tokens + (now_us - self._last_time) * self.rate)
+        self._last_time = now_us
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        if self.tokens >= pkt.wire_len:
+            self.tokens -= pkt.wire_len
+            return
+        self.out_of_profile += 1
+        if self.police:
+            ctx.drop("token bucket exceeded")

@@ -1,0 +1,91 @@
+"""NAT NF (Table 2): source NAT with dynamic port allocation.
+
+Rewrites (SIP, SPORT) of outbound flows to the NAT's external address
+and an allocated external port, keeping a bidirectional binding table
+like iptables MASQUERADE.  Profile: R/W on the whole 4-tuple (Table 2's
+NAT row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..net.headers import PROTO_TCP, PROTO_UDP
+from ..net.packet import Packet
+from .base import NetworkFunction, ProcessingContext, register_nf_class
+
+__all__ = ["Nat", "NatBinding"]
+
+
+class NatBinding:
+    """One NAT translation: internal (ip, port) <-> external port."""
+
+    __slots__ = ("internal_ip", "internal_port", "external_port", "packets")
+
+    def __init__(self, internal_ip: str, internal_port: int, external_port: int):
+        self.internal_ip = internal_ip
+        self.internal_port = internal_port
+        self.external_port = external_port
+        self.packets = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"NatBinding({self.internal_ip}:{self.internal_port} -> "
+            f":{self.external_port})"
+        )
+
+
+@register_nf_class
+class Nat(NetworkFunction):
+    """Port-translating source NAT."""
+
+    KIND = "nat"
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        external_ip: str = "203.0.113.1",
+        port_base: int = 20000,
+        port_count: int = 40000,
+    ):
+        super().__init__(name)
+        self.external_ip = external_ip
+        self._port_base = port_base
+        self._port_count = port_count
+        self._next_port = port_base
+        self._by_internal: Dict[Tuple[str, int], NatBinding] = {}
+        self._by_external: Dict[int, NatBinding] = {}
+
+    def _allocate(self, internal_ip: str, internal_port: int) -> NatBinding:
+        if len(self._by_external) >= self._port_count:
+            raise RuntimeError("NAT port pool exhausted")
+        while self._next_port in self._by_external:
+            self._next_port = (
+                self._port_base + (self._next_port + 1 - self._port_base) % self._port_count
+            )
+        binding = NatBinding(internal_ip, internal_port, self._next_port)
+        self._by_internal[(internal_ip, internal_port)] = binding
+        self._by_external[self._next_port] = binding
+        return binding
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        if pkt.l4_protocol not in (PROTO_TCP, PROTO_UDP):
+            ctx.drop("NAT supports TCP/UDP only")
+            return
+        ip = pkt.ipv4
+        l4 = pkt.tcp if pkt.l4_protocol == PROTO_TCP else pkt.udp
+        key = (ip.src_ip, l4.src_port)
+        binding = self._by_internal.get(key)
+        if binding is None:
+            binding = self._allocate(*key)
+        binding.packets += 1
+        ip.src_ip = self.external_ip
+        l4.src_port = binding.external_port
+        ip.update_checksum()
+
+    # ------------------------------------------------------ operator API
+    def binding_count(self) -> int:
+        return len(self._by_internal)
+
+    def lookup_external(self, external_port: int) -> Optional[NatBinding]:
+        return self._by_external.get(external_port)

@@ -1,0 +1,330 @@
+"""A minimal discrete-event simulation (DES) engine.
+
+This module is the substrate that stands in for the paper's physical
+testbed (DPDK, CPU cores, NIC queues).  It is a deliberately small,
+dependency-free cousin of SimPy: simulation *processes* are Python
+generators that ``yield`` events; the :class:`Environment` advances a
+virtual clock and resumes processes when the events they wait on fire.
+
+Time is a ``float`` in *microseconds* throughout the repository, matching
+the unit the paper reports latencies in.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(5.0)
+...     log.append(env.now)
+>>> _ = env.process(proc(env))
+>>> env.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers it,
+    which schedules all waiting callbacks at the current simulation time.
+    Triggering twice is an error -- events are single-use, as in SimPy.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None  # None = pending
+        self._scheduled = False
+        self._processed = False  # callbacks have run
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event is still pending")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception, if it failed)."""
+        if self._ok is None:
+            raise SimulationError("event is still pending")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """Wraps a generator so it can be driven by the environment.
+
+    A process is itself an event: it triggers when the generator returns
+    (success, with the generator's return value) or raises (failure).
+    Other processes can therefore ``yield proc`` to join on it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() expects a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        init = Event(env)
+        init._ok = True
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op error, matching SimPy.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self in [None]:  # pragma: no cover
+            pass
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True  # type: ignore[attr-defined]
+        # Detach from whatever we were waiting on.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+            self._target = None
+        event.callbacks.append(self._resume)
+        self.env._schedule(event)
+
+    # -- generator driving ------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+        if next_event.processed:
+            # Its callbacks already ran: resume at the current time.
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            resume.callbacks.append(self._resume)
+            self.env._schedule(resume)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # -- factory helpers ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register a generator as a new simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires once every given event has succeeded."""
+        events = list(events)
+        done = self.event()
+        remaining = [len(events)]
+        if not events:
+            done._ok = True
+            done._value = []
+            self._schedule(done)
+            return done
+
+        def on_fire(ev: Event) -> None:
+            if not ev._ok:
+                if not done.triggered:
+                    done.fail(ev._value)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0 and not done.triggered:
+                done.succeed([e._value for e in events])
+
+        for ev in events:
+            if ev.processed:
+                on_fire(ev)
+            else:
+                ev.callbacks.append(on_fire)
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires as soon as any given event succeeds."""
+        events = list(events)
+        done = self.event()
+
+        def on_fire(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev._ok:
+                done.succeed(ev._value)
+            else:
+                done.fail(ev._value)
+
+        for ev in events:
+            if ev.processed:
+                on_fire(ev)
+                break
+            ev.callbacks.append(on_fire)
+        return done
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and not getattr(event, "_defused", False):
+            # An unhandled failure with nobody listening: surface it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError("run(until) lies in the past")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

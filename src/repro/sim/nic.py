@@ -1,0 +1,45 @@
+"""NIC model: a rate-limited serial link feeding/draining the dataplane.
+
+The testbed uses two 10G NICs per server.  On the wire each frame takes
+``(size + 20) * 8 / speed`` seconds (preamble + inter-frame gap included),
+which caps 64 B traffic at the classic 14.88 Mpps -- the "Line Speed"
+series in Fig. 7(b).  The :class:`Nic` serialises transmissions at that
+rate and charges the fixed DPDK driver cost per packet.
+"""
+
+from __future__ import annotations
+
+from .engine import Environment, Event
+from .params import SimParams
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """A simplex NIC port with wire-rate serialisation."""
+
+    def __init__(self, env: Environment, params: SimParams, name: str = "nic"):
+        self.env = env
+        self.params = params
+        self.name = name
+        self._wire_free_at = 0.0
+        self.tx_packets = 0
+
+    def wire_time_us(self, packet_size: int) -> float:
+        """Serialisation delay of one frame of ``packet_size`` bytes."""
+        if packet_size <= 0:
+            raise ValueError("packet size must be positive")
+        bits = (packet_size + 20) * 8
+        # Gbit/s == bits per nanosecond; convert to microseconds.
+        return bits / (self.params.nic_gbps * 1000.0)
+
+    def transmit(self, packet_size: int) -> Event:
+        """Occupy the wire for one frame; fires when fully serialised."""
+        start = max(self.env.now, self._wire_free_at)
+        finish = start + self.wire_time_us(packet_size)
+        self._wire_free_at = finish
+        self.tx_packets += 1
+        return self.env.timeout(finish - self.env.now)
+
+    def line_rate_mpps(self, packet_size: int) -> float:
+        return 1.0 / self.wire_time_us(packet_size)

@@ -1,0 +1,112 @@
+"""Measurement collectors for latency / throughput experiments.
+
+`LatencyStats` accumulates per-packet end-to-end latencies and exposes the
+summary statistics the paper plots (mean, percentiles).  `RateMeter`
+counts packets over the measured interval to report Mpps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["LatencyStats", "RateMeter", "percentile"]
+
+
+def percentile(sorted_values: List[float], pct: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (pct / 100.0) * (len(sorted_values) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return sorted_values[lo]
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+class LatencyStats:
+    """Accumulates end-to-end packet latencies (microseconds)."""
+
+    def __init__(self, warmup_fraction: float = 0.1):
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup fraction must be in [0, 1)")
+        self._samples: List[float] = []
+        self._warmup_fraction = warmup_fraction
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError("negative latency")
+        self._samples.append(latency_us)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _steady(self) -> List[float]:
+        """Samples with the warm-up prefix removed."""
+        skip = int(len(self._samples) * self._warmup_fraction)
+        return self._samples[skip:] or self._samples
+
+    @property
+    def mean(self) -> float:
+        steady = self._steady()
+        if not steady:
+            raise ValueError("no latency samples recorded")
+        return sum(steady) / len(steady)
+
+    def pct(self, p: float) -> float:
+        return percentile(sorted(self._steady()), p)
+
+    @property
+    def median(self) -> float:
+        return self.pct(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.pct(99.0)
+
+    @property
+    def max(self) -> float:
+        steady = self._steady()
+        if not steady:
+            raise ValueError("no latency samples recorded")
+        return max(steady)
+
+
+class RateMeter:
+    """Counts delivered packets to compute throughput in Mpps."""
+
+    def __init__(self):
+        self.delivered = 0
+        self.dropped = 0
+        self._first: Optional[float] = None
+        self._last: Optional[float] = None
+
+    def record_delivery(self, now_us: float) -> None:
+        self.delivered += 1
+        if self._first is None:
+            self._first = now_us
+        self._last = now_us
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    @property
+    def loss_fraction(self) -> float:
+        total = self.delivered + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def mpps(self) -> float:
+        """Delivered packet rate over the observed span, in Mpps."""
+        if self.delivered < 2 or self._first is None or self._last is None:
+            return 0.0
+        span = self._last - self._first
+        if span <= 0:
+            return 0.0
+        # packets per microsecond == Mpps.
+        return (self.delivered - 1) / span

@@ -1,0 +1,17 @@
+"""Traffic generation substrate (the paper's DPDK pktgen stand-in)."""
+
+from .generator import (
+    DATACENTER_MIX,
+    FIXED_64B,
+    FlowGenerator,
+    PacketSizeDistribution,
+    TrafficSource,
+)
+
+__all__ = [
+    "PacketSizeDistribution",
+    "FIXED_64B",
+    "DATACENTER_MIX",
+    "FlowGenerator",
+    "TrafficSource",
+]

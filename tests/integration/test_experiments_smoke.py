@@ -1,0 +1,76 @@
+"""Integration smoke: every experiment function produces sane output.
+
+Guards the experiment layer itself (the benchmarks run the full-size
+versions); here every figure/table function runs with tiny packet
+counts and its structural invariants are checked.
+"""
+
+import pytest
+
+from repro.eval import (
+    fig7_sequential_chains,
+    fig8_nf_complexity,
+    fig9_cycles_sweep,
+    fig11_parallelism_degree,
+    fig12_graph_structures,
+    fig13_real_world_chains,
+    table4_rtc_comparison,
+)
+
+PACKETS = 300
+
+
+def test_fig7_rows_and_render():
+    table = fig7_sequential_chains(packets=PACKETS, max_len=2, sizes=(64, 1500))
+    assert len(table.rows) == 4  # 2 lengths x 2 sizes
+    text = table.render()
+    assert "Figure 7" in text and "chain_len" in text
+    assert table.column("chain_len") == [1, 1, 2, 2]
+
+
+def test_fig8_covers_all_prototype_nfs():
+    table = fig8_nf_complexity(packets=PACKETS, nfs=("forwarder", "vpn"))
+    assert [r[0] for r in table.rows] == ["forwarder", "vpn"]
+    for row in table.rows:
+        assert all(value > 0 for value in row[1:])
+
+
+def test_fig9_columns_align():
+    table = fig9_cycles_sweep(packets=PACKETS, cycles=(1, 3000))
+    assert table.column("cycles") == [1, 3000]
+    assert len(table.headers) == len(table.rows[0])
+
+
+def test_fig11_degrees():
+    table = fig11_parallelism_degree(packets=PACKETS, degrees=(2, 3))
+    assert table.column("degree") == [2, 3]
+
+
+def test_fig12_structures_have_expected_lengths():
+    table = fig12_graph_structures(packets=PACKETS)
+    lengths = dict(zip(table.column("structure"), table.column("equivalent_length")))
+    assert lengths["(1) sequential"] == 4
+    assert lengths["(2) all-parallel"] == 1
+    assert lengths["(4) 1->2->1"] == 3
+
+
+def test_fig13_rows():
+    table = fig13_real_world_chains(packets=PACKETS)
+    chains = table.column("chain")
+    assert chains == ["north-south", "west-east"]
+    # Overheads: 0% and ~8.8%.
+    overheads = table.column("resource_overhead_pct")
+    assert overheads[0] == pytest.approx(0.0, abs=0.01)
+    assert overheads[1] == pytest.approx(8.8, abs=0.8)
+
+
+def test_table4_rows():
+    table = table4_rtc_comparison(packets=PACKETS, lengths=(1, 2))
+    assert table.column("chain_len") == [1, 2]
+    assert table.column("cores") == [3, 4]
+
+
+def test_experiment_table_column_lookup_error():
+    table = fig13_real_world_chains(packets=PACKETS)
+    with pytest.raises(ValueError):
+        table.column("nonexistent")

@@ -1,0 +1,91 @@
+"""Audit: the action table's claims vs what the NF code actually does.
+
+The orchestrator trusts the Table 2 profiles; these tests use the §5.4
+inspector on the real NF implementations and check that every *effect*
+the table promises (writes, structural changes, drops) is present in
+the code -- so graph compilation decisions rest on code-accurate
+profiles.  Documented divergences (our NAT is SNAT-only; the forwarder
+also reads/drops on TTL) are asserted explicitly rather than ignored.
+"""
+
+import pytest
+
+from repro.core import Verb, default_action_table, inspect_nf
+from repro.net import Field
+from repro.nfs import nf_class
+
+#: NF kinds whose implementation matches the table row exactly on the
+#: effect actions (writes / adds / removes / drop).
+EXACT_EFFECT_KINDS = [
+    "monitor",
+    "loadbalancer",
+    "gateway",
+    "caching",
+    "ids",
+    "nids",
+    "vpn",
+    "vpn-decrypt",
+    "conntrack-firewall",
+]
+
+
+@pytest.mark.parametrize("kind", EXACT_EFFECT_KINDS)
+def test_effect_actions_match_table(kind):
+    table_profile = default_action_table().fetch(kind)
+    code_profile = inspect_nf(nf_class(kind))
+    assert code_profile.writes == table_profile.writes, kind
+    assert code_profile.adds == table_profile.adds, kind
+    assert code_profile.removes == table_profile.removes, kind
+    assert code_profile.may_drop == table_profile.may_drop, kind
+
+
+@pytest.mark.parametrize("kind", EXACT_EFFECT_KINDS + ["firewall", "nat"])
+def test_code_reads_no_more_than_table_plus_ttl(kind):
+    """Reads found in code are covered by the table (TTL excepted:
+    forwarding-style reads the table's column set does not model)."""
+    table_profile = default_action_table().fetch(kind)
+    code_profile = inspect_nf(nf_class(kind))
+    extra = code_profile.reads - table_profile.reads - {Field.TTL}
+    assert not extra, f"{kind} reads undeclared fields: {extra}"
+
+
+def test_firewall_drop_declared():
+    assert inspect_nf(nf_class("firewall")).may_drop
+    assert default_action_table().fetch("firewall").may_drop
+
+
+def test_known_divergence_nat_is_snat():
+    """Our NAT implements SNAT (writes sip/sport); the table keeps the
+    paper's full-cone row (writes all four).  The table is the safer,
+    more conservative profile, so compilation stays sound."""
+    table_profile = default_action_table().fetch("nat")
+    code_profile = inspect_nf(nf_class("nat"))
+    assert code_profile.writes == {Field.SIP, Field.SPORT}
+    assert code_profile.writes < table_profile.writes
+
+
+def test_known_divergence_forwarder_ttl():
+    """The forwarder reads/drops on TTL beyond its table row; both are
+    *stricter* behaviours than declared (reads + a drop), which can only
+    make the dependency analysis conservative, never unsound... for
+    reads; the undeclared drop is asserted here so any future profile
+    change revisits it."""
+    code_profile = inspect_nf(nf_class("forwarder"))
+    assert Field.TTL in code_profile.writes
+    assert code_profile.may_drop  # no-route / TTL-expired drops
+
+
+@pytest.mark.parametrize("kind", EXACT_EFFECT_KINDS + ["firewall"])
+def test_registering_inspected_profile_compiles(kind):
+    """An operator can onboard any shipped NF purely via inspection."""
+    from repro.core import Orchestrator, Policy
+
+    orch = Orchestrator()
+    profile = inspect_nf(nf_class(kind), name=f"audited-{kind}")
+    orch.register_profile(profile)
+    policy = Policy(name="audit")
+    policy.declare(__import__("repro.core", fromlist=["NFSpec"]).NFSpec(
+        "x", f"audited-{kind}"))
+    policy._touch("x")
+    graph = orch.compile(policy).graph
+    assert graph.nf_names() == ["x"]

@@ -1,0 +1,98 @@
+"""Integration: the timed (DES) cross-server pipeline."""
+
+import pytest
+
+from repro.core import Orchestrator, Policy
+from repro.dataplane import NFPServer
+from repro.eval import deployed_from_graph
+from repro.multiserver import TimedMultiServer, slice_subgraph
+from repro.multiserver.latency import link_cost_us
+from repro.core.partition import partition_graph
+from repro.sim import DEFAULT_PARAMS, Environment
+from repro.traffic import FlowGenerator, TrafficSource
+
+CHAIN = ["gateway", "monitor", "nat", "firewall", "loadbalancer", "vpn"]
+
+
+def compiled():
+    return Orchestrator().compile(Policy.from_chain(CHAIN)).graph
+
+
+def run_single(graph, count=400, rate=0.5, seed=4, keep=False):
+    env = Environment()
+    server = NFPServer(env, DEFAULT_PARAMS)
+    server.deploy(deployed_from_graph(graph))
+    server.keep_packets = keep
+    TrafficSource(env, server.inject, rate, count,
+                  flows=FlowGenerator(num_flows=16, seed=seed), seed=seed)
+    env.run()
+    return server
+
+
+def run_multi(graph, count=400, rate=0.5, seed=4, cores=5, keep=False):
+    env = Environment()
+    multi = TimedMultiServer(env, DEFAULT_PARAMS, graph, cores_per_server=cores)
+    multi.tail.keep_packets = keep
+    TrafficSource(env, multi.inject, rate, count,
+                  flows=FlowGenerator(num_flows=16, seed=seed), seed=seed)
+    env.run()
+    return multi
+
+
+def test_slice_subgraph_rebases_copies_and_merges():
+    graph = compiled()
+    slices = partition_graph(graph, cores_per_server=5)
+    subs = [slice_subgraph(graph, s) for s in slices]
+    assert sum(len(sub.nf_names()) for sub in subs) == len(graph.nf_names())
+    for sub in subs:
+        # Every copy spec points at a stage inside the sub-graph.
+        for copy in sub.copies:
+            assert 0 <= copy.stage_index < len(sub.stages)
+        sub_versions = sub.versions()
+        for op in sub.merge_ops:
+            assert op.src_version in sub_versions
+
+
+def test_timed_multiserver_delivers_everything():
+    multi = run_multi(compiled())
+    assert multi.num_servers == 2
+    assert multi.delivered == 400
+    assert multi.lost == 0
+    assert multi.links[0].frames == 400
+
+
+def test_timed_multiserver_outputs_match_single_box():
+    graph = compiled()
+    single = run_single(graph, keep=True)
+    multi = run_multi(compiled(), keep=True)
+    assert len(multi.tail.emitted_packets) == len(single.emitted_packets)
+    singles = {bytes(p.buf) for p in single.emitted_packets}
+    for pkt in multi.tail.emitted_packets:
+        assert bytes(pkt.buf) in singles
+
+
+def test_timed_multiserver_latency_penalty_near_model():
+    graph = compiled()
+    single = run_single(graph)
+    multi = run_multi(compiled())
+    penalty = multi.tail.latency.mean - single.latency.mean
+    assert penalty > 0
+    # Within a few microseconds of the closed-form link cost at the
+    # measured size mix (64 B + shim).
+    assert penalty == pytest.approx(link_cost_us(DEFAULT_PARAMS, 64), abs=6.0)
+
+
+def test_timed_multiserver_end_to_end_timestamps():
+    multi = run_multi(compiled(), count=100)
+    # Latency is end-to-end (ingress at server 0), so it must exceed any
+    # single slice's internal floor plus the link.
+    assert multi.tail.latency.mean > link_cost_us(DEFAULT_PARAMS, 64)
+
+
+def test_timed_multiserver_core_accounting():
+    multi = run_multi(compiled())
+    # Each server: its NFs + classifier + merger.
+    per_server = [s.cores_used for s in multi.servers]
+    assert sum(per_server) == multi.cores_used
+    for server, server_slice in zip(multi.servers, multi.slices):
+        assert server.cores_used == server_slice.nf_cores + 2

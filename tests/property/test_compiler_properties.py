@@ -1,0 +1,88 @@
+"""Property-based tests on compiler invariants and the correctness
+principle over randomly generated chains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NFSpec, Orchestrator, Policy, identify_parallelism
+from repro.core.action_table import default_action_table
+from repro.dataplane import FunctionalDataplane, SequentialReference
+from repro.nfs import create_nf
+from repro.traffic import FlowGenerator, PacketSizeDistribution
+
+#: NF kinds safe for arbitrary composition (every chain over these is
+#: meaningful; vpn-decrypt is excluded since it drops un-encrypted
+#: traffic by design).
+KINDS = [
+    "firewall", "monitor", "loadbalancer", "gateway", "caching",
+    "nat", "vpn", "nids", "proxy", "compression", "shaper", "ids",
+]
+
+chains = st.lists(st.sampled_from(KINDS), min_size=1, max_size=5)
+
+
+def make_policy(kinds):
+    specs = [NFSpec(f"{kind}-{i}", kind) for i, kind in enumerate(kinds)]
+    return Policy.from_chain(specs, name="prop"), specs
+
+
+@settings(max_examples=60, deadline=None)
+@given(kinds=chains)
+def test_compiled_graph_contains_every_nf_exactly_once(kinds):
+    policy, specs = make_policy(kinds)
+    graph = Orchestrator().compile(policy).graph
+    assert sorted(graph.nf_names()) == sorted(s.name for s in specs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(kinds=chains)
+def test_compiled_graph_preserves_hard_order(kinds):
+    # Any chain pair deemed NOT parallelizable must end up in
+    # strictly increasing stages.
+    policy, specs = make_policy(kinds)
+    graph = Orchestrator().compile(policy).graph
+    table = default_action_table()
+    position = {}
+    for index, stage in enumerate(graph.stages):
+        for entry in stage:
+            position[entry.node.name] = index
+    for i, first in enumerate(specs):
+        for second in specs[i + 1:]:
+            verdict = identify_parallelism(
+                table.fetch(first.kind), table.fetch(second.kind)
+            )
+            if not verdict.parallelizable:
+                assert position[first.name] < position[second.name]
+
+
+@settings(max_examples=60, deadline=None)
+@given(kinds=chains)
+def test_equivalent_length_never_exceeds_chain_length(kinds):
+    policy, _ = make_policy(kinds)
+    graph = Orchestrator().compile(policy).graph
+    assert 1 <= graph.equivalent_length <= len(kinds)
+    assert 1 <= graph.num_versions <= len(kinds)
+
+
+@settings(max_examples=25, deadline=None)
+@given(kinds=chains, seed=st.integers(0, 1000))
+def test_result_correctness_principle_random_chains(kinds, seed):
+    """§4.1 as a property: parallel output == sequential output, for any
+    chain over the NF corpus and any traffic."""
+    policy, specs = make_policy(kinds)
+    graph = Orchestrator().compile(policy).graph
+
+    parallel = FunctionalDataplane(graph)
+    sequential = SequentialReference(
+        [create_nf(s.kind, name=f"seq-{s.name}") for s in specs]
+    )
+    sizes = PacketSizeDistribution([(96, 0.5), (256, 0.5)])
+    gen_a = FlowGenerator(num_flows=4, sizes=sizes, seed=seed)
+    gen_b = FlowGenerator(num_flows=4, sizes=sizes, seed=seed)
+
+    for _ in range(15):
+        out_a = parallel.process(gen_a.next_packet())
+        out_b = sequential.process(gen_b.next_packet())
+        assert (out_a is None) == (out_b is None)
+        if out_a is not None:
+            assert bytes(out_a.buf) == bytes(out_b.buf)

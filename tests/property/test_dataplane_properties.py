@@ -1,0 +1,83 @@
+"""Property-based tests on dataplane conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Orchestrator, Policy
+from repro.dataplane import NFPServer
+from repro.eval import deployed_from_graph, forced_parallel, forced_sequential
+from repro.sim import DEFAULT_PARAMS, Environment
+from repro.traffic import FlowGenerator, TrafficSource
+
+CHAINS = [
+    ["firewall", "monitor"],
+    ["ids", "monitor", "loadbalancer"],
+    ["vpn", "monitor", "firewall", "loadbalancer"],
+    ["nat", "loadbalancer"],
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    chain_index=st.integers(0, len(CHAINS) - 1),
+    count=st.integers(20, 120),
+    rate=st.floats(0.2, 2.0),
+    seed=st.integers(0, 100),
+)
+def test_packet_conservation_under_any_load(chain_index, count, rate, seed):
+    """injected == delivered + lost + nil_dropped once the DES drains,
+    and no flight state or AT entries leak."""
+    chain = CHAINS[chain_index]
+    env = Environment()
+    server = NFPServer(env, DEFAULT_PARAMS)
+    server.deploy(Orchestrator().deploy(Policy.from_chain(chain)))
+    TrafficSource(env, server.inject, rate, count,
+                  flows=FlowGenerator(num_flows=8, seed=seed), seed=seed)
+    env.run()
+
+    accounted = server.rate.delivered + server.lost + server.nil_dropped
+    assert accounted == count
+    if server.lost == 0:
+        assert server._flight == {}
+        assert all(m.at == {} for m in server.mergers)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    degree=st.integers(1, 5),
+    with_copy=st.booleans(),
+    count=st.integers(30, 100),
+    seed=st.integers(0, 50),
+)
+def test_forced_graph_conservation(degree, with_copy, count, seed):
+    graph = (
+        forced_parallel(["firewall"] * degree, with_copy=with_copy)
+        if degree > 1
+        else forced_sequential(["firewall"])
+    )
+    env = Environment()
+    server = NFPServer(env, DEFAULT_PARAMS)
+    server.deploy(deployed_from_graph(graph))
+    TrafficSource(env, server.inject, 1.0, count,
+                  flows=FlowGenerator(num_flows=4, seed=seed), seed=seed)
+    env.run()
+    assert server.rate.delivered + server.lost + server.nil_dropped == count
+    # Every firewall instance saw every (non-lost) packet.
+    if server.lost == 0:
+        for nf in server.nfs.values():
+            assert nf.rx_packets == count
+
+
+@settings(max_examples=10, deadline=None)
+@given(num_mergers=st.integers(1, 4), count=st.integers(40, 120),
+       seed=st.integers(0, 50))
+def test_merger_outputs_partition_packets(num_mergers, count, seed):
+    graph = forced_parallel(["firewall", "monitor"], with_copy=False)
+    env = Environment()
+    server = NFPServer(env, DEFAULT_PARAMS, num_mergers=num_mergers)
+    server.deploy(deployed_from_graph(graph))
+    TrafficSource(env, server.inject, 0.8, count,
+                  flows=FlowGenerator(num_flows=8, seed=seed), seed=seed)
+    env.run()
+    assert sum(m.merged for m in server.mergers) == server.rate.delivered
+    assert server.rate.delivered == count

@@ -1,0 +1,83 @@
+"""Property-based tests for the packet substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    HEADER_COPY_BYTES,
+    PROTO_TCP,
+    PROTO_UDP,
+    PacketMeta,
+    build_packet,
+    int_to_ip,
+    ip_to_int,
+)
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+sizes = st.integers(min_value=64, max_value=1500)
+
+
+@given(value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_ip_int_roundtrip(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+@given(src=ips, dst=ips, sport=ports, dport=ports, size=sizes,
+       proto=st.sampled_from([PROTO_TCP, PROTO_UDP]))
+def test_build_packet_fields_roundtrip(src, dst, sport, dport, size, proto):
+    pkt = build_packet(src_ip=src, dst_ip=dst, src_port=sport,
+                       dst_port=dport, size=size, protocol=proto)
+    assert len(pkt.buf) == size
+    assert pkt.five_tuple() == (src, dst, proto, sport, dport)
+    assert pkt.ipv4.verify_checksum()
+    assert pkt.ipv4.total_length == size - 14
+
+
+@given(size=sizes, payload=st.binary(max_size=32))
+def test_payload_roundtrip(size, payload):
+    if size < 54 + len(payload):
+        size = 54 + len(payload)
+    pkt = build_packet(size=size, payload=payload)
+    assert pkt.payload[: len(payload)] == payload
+
+
+@given(size=sizes)
+def test_full_copy_preserves_bytes_and_isolates(size):
+    pkt = build_packet(size=size)
+    pkt.meta = PacketMeta(mid=1, pid=1, version=1)
+    copy = pkt.full_copy(2)
+    assert bytes(copy.buf) == bytes(pkt.buf)
+    copy.ipv4.ttl = 1
+    copy.ipv4.update_checksum()
+    assert pkt.ipv4.ttl != 1 or pkt.ipv4.ttl == 1 and size == 0  # isolation
+    assert bytes(copy.buf) != bytes(pkt.buf)
+
+
+@given(size=sizes)
+def test_header_copy_invariants(size):
+    pkt = build_packet(size=size)
+    pkt.meta = PacketMeta(mid=1, pid=1, version=1)
+    copy = pkt.header_copy(2)
+    assert len(copy.buf) == min(size, HEADER_COPY_BYTES)
+    assert copy.wire_len == size
+    assert copy.meta.version == 2
+    # The 4-tuple survives header-only copying.
+    assert copy.five_tuple() == pkt.five_tuple()
+
+
+@given(mid=st.integers(0, (1 << 20) - 1),
+       pid=st.integers(0, (1 << 40) - 1),
+       version=st.integers(0, 15))
+def test_meta_pack_unpack(mid, pid, version):
+    meta = PacketMeta(mid, pid, version)
+    assert PacketMeta.unpack(meta.pack()) == meta
+
+
+@settings(max_examples=30)
+@given(size=sizes, ttl=st.integers(1, 255), dscp=st.integers(0, 63))
+def test_checksum_update_always_verifies(size, ttl, dscp):
+    pkt = build_packet(size=size, ttl=ttl)
+    pkt.ipv4.dscp = dscp
+    pkt.ipv4.update_checksum()
+    assert pkt.ipv4.verify_checksum()

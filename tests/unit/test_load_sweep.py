@@ -1,0 +1,38 @@
+"""Unit tests for the offered-load sweep experiment."""
+
+import pytest
+
+from repro.eval import load_sweep, nfp_capacity, forced_sequential
+from repro.sim import DEFAULT_PARAMS
+
+
+def test_sweep_below_capacity_tracks_offered_rate():
+    points = load_sweep(["firewall", "monitor"], packets=1500,
+                        fractions=(0.3, 0.7))
+    for point in points:
+        assert point.delivered_mpps == pytest.approx(point.offered_mpps, rel=0.05)
+        assert not point.saturated
+        assert point.latency_mean_us < 200
+
+
+def test_sweep_past_capacity_plateaus_and_loses():
+    graph = forced_sequential(["ids"])
+    capacity = nfp_capacity(graph, DEFAULT_PARAMS).mpps
+    points = load_sweep(graph, packets=5000, fractions=(0.5, 2.5))
+    below, above = points
+    assert not below.saturated
+    assert above.saturated
+    assert above.loss_fraction > 0.1
+    # Delivered rate plateaus at the bottleneck capacity.
+    assert above.delivered_mpps == pytest.approx(capacity, rel=0.15)
+    # Latency blows up past the knee.
+    assert above.latency_mean_us > 3 * below.latency_mean_us
+
+
+def test_sweep_latency_monotone_in_load():
+    points = load_sweep(["firewall", "monitor"], packets=1500,
+                        fractions=(0.2, 0.5, 0.9))
+    latencies = [p.latency_mean_us for p in points]
+    assert latencies == sorted(latencies)
+    p99s = [p.latency_p99_us for p in points]
+    assert all(p99 >= mean for p99, mean in zip(p99s, latencies))

@@ -1,0 +1,112 @@
+"""Unit tests for the §4.4 IR/micrograph decomposition (Fig. 2)."""
+
+import pytest
+
+from repro.core import NFSpec, Orchestrator, Policy, Position
+from repro.core.micrograph import MicrographKind, decompose
+
+
+def fig2_like_policy():
+    """The Fig. 2 input shape: Position + Order chain + Priority pair +
+    a free NF, over concrete Table 2 kinds."""
+    policy = Policy(
+        instances=[
+            NFSpec("nf1", "vpn"),          # pinned first
+            NFSpec("nf2", "nat"),          # order: nf2 before nf3, nf4
+            NFSpec("nf3", "firewall"),
+            NFSpec("nf4", "monitor"),
+            NFSpec("nf5", "ips"),          # priority: nf5 > nf6, nf6 > nf7
+            NFSpec("nf6", "firewall"),
+            NFSpec("nf7", "monitor"),
+            NFSpec("nf8", "gateway"),      # free
+        ],
+        name="fig2",
+    )
+    policy.position("nf1", "first")
+    policy.order("nf2", "nf3")
+    policy.order("nf2", "nf4")
+    policy.priority("nf5", "nf6")
+    policy.priority("nf6", "nf7")
+    policy._touch("nf8")
+    return policy
+
+
+def test_transform_produces_irs():
+    decomposition = decompose(fig2_like_policy())
+    assert len(decomposition.position_irs) == 1
+    assert decomposition.position_irs[0].nf == "nf1"
+    assert decomposition.position_irs[0].position is Position.FIRST
+    origins = [ir.origin for ir in decomposition.pair_irs]
+    assert origins.count("order") == 2
+    assert origins.count("priority") == 2
+
+
+def test_order_pair_priority_assignment():
+    # "the NF with the back order is assigned a higher priority" (§3).
+    decomposition = decompose(fig2_like_policy())
+    order_irs = [ir for ir in decomposition.pair_irs if ir.origin == "order"]
+    for ir in order_irs:
+        assert ir.low == "nf2"  # nf2 comes first in both rules
+
+
+def test_micrograph_classification_matches_fig2():
+    decomposition = decompose(fig2_like_policy())
+    kinds = {tuple(m.members): m.kind for m in decomposition.micrographs}
+    # Pinned and free NFs are singles.
+    assert kinds[("nf1",)] is MicrographKind.SINGLE
+    assert kinds[("nf8",)] is MicrographKind.SINGLE
+    # nf2 (NAT, writer) before readers -> unparallelizable -> tree.
+    assert kinds[("nf2", "nf3", "nf4")] is MicrographKind.TREE
+    # The Priority trio is plain parallelism.
+    assert kinds[("nf5", "nf6", "nf7")] is MicrographKind.PLAIN_PARALLELISM
+
+
+def test_tree_micrograph_records_hard_edges():
+    decomposition = decompose(fig2_like_policy())
+    tree = decomposition.micrograph_of("nf2")
+    assert set(tree.hard_edges) == {("nf2", "nf3"), ("nf2", "nf4")}
+
+
+def test_micrographs_partition_the_nf_set():
+    policy = fig2_like_policy()
+    decomposition = decompose(policy)
+    seen = [nf for m in decomposition.micrographs for nf in m.members]
+    assert sorted(seen) == sorted(policy.nf_names())
+    assert len(seen) == len(set(seen))
+
+
+def test_micrograph_of_unknown_nf():
+    decomposition = decompose(fig2_like_policy())
+    with pytest.raises(KeyError):
+        decomposition.micrograph_of("ghost")
+
+
+def test_decomposition_consistent_with_final_graph():
+    """Tree hard edges appear as stage orderings in the compiled graph."""
+    policy = fig2_like_policy()
+    decomposition = decompose(policy)
+    graph = Orchestrator().compile(policy).graph
+    stage_of = {e.node.name: i for i, s in enumerate(graph.stages) for e in s}
+    for micrograph in decomposition.micrographs:
+        for before, after in micrograph.hard_edges:
+            assert stage_of[before] < stage_of[after]
+    # Pinned-first single leads the graph.
+    assert graph.stages[0].entries[0].node.name == "nf1"
+
+
+def test_plain_parallelism_copy_accounting():
+    # monitor -> loadbalancer: LB needs a copy; the group reports it.
+    policy = Policy.from_chain(["monitor", "loadbalancer"])
+    decomposition = decompose(policy)
+    group = decomposition.micrograph_of("monitor")
+    assert group.kind is MicrographKind.PLAIN_PARALLELISM
+    assert group.copies_needed == 1
+
+
+def test_read_only_chain_is_copyless_plain_parallelism():
+    policy = Policy.from_chain(["gateway", "caching", "monitor"])
+    decomposition = decompose(policy)
+    group = decomposition.micrograph_of("gateway")
+    assert group.kind is MicrographKind.PLAIN_PARALLELISM
+    assert group.copies_needed == 0
+    assert group.hard_edges == []

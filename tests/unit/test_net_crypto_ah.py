@@ -1,0 +1,156 @@
+"""Unit tests for checksum, AES-128, ICV, and AH insertion/removal."""
+
+import pytest
+
+from repro.net import (
+    Aes128,
+    AhView,
+    aes_ctr_transform,
+    build_packet,
+    compute_icv,
+    insert_ah,
+    internet_checksum,
+    pseudo_header_checksum,
+    remove_ah,
+    verify_ah,
+)
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+# --------------------------------------------------------------- checksum
+def test_internet_checksum_rfc1071_example():
+    # Classic example from RFC 1071 §3.
+    data = bytes.fromhex("0001f203f4f5f6f7")
+    assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+
+def test_internet_checksum_verifies_to_zero():
+    data = bytearray(bytes.fromhex("45000054a6f200004011"))
+    data += bytes.fromhex("0000c0a80001c0a800c7")
+    checksum = internet_checksum(bytes(data))
+    data[10] = checksum >> 8
+    data[11] = checksum & 0xFF
+    assert internet_checksum(bytes(data)) == 0
+
+
+def test_internet_checksum_odd_length():
+    assert internet_checksum(b"\x01") == (~0x0100) & 0xFFFF
+
+
+def test_pseudo_header_checksum_validates_addresses():
+    with pytest.raises(ValueError):
+        pseudo_header_checksum(b"\x01\x02", b"\x01\x02\x03\x04", 6, b"")
+    with pytest.raises(ValueError):
+        pseudo_header_checksum(b"\x01\x02\x03\x04", b"\x01\x02\x03\x04", 300, b"")
+
+
+# -------------------------------------------------------------------- AES
+def test_aes128_fips197_vector():
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    aes = Aes128(KEY)
+    assert aes.encrypt_block(plaintext) == expected
+    assert aes.decrypt_block(expected) == plaintext
+
+
+def test_aes128_sp800_38a_ecb_vector():
+    # NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, block #1.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    block = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+    assert Aes128(key).encrypt_block(block) == expected
+
+
+def test_aes_key_and_block_sizes_enforced():
+    with pytest.raises(ValueError):
+        Aes128(b"short")
+    with pytest.raises(ValueError):
+        Aes128(KEY).encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        Aes128(KEY).decrypt_block(b"short")
+
+
+def test_ctr_is_involutive_and_keystream_differs_by_nonce():
+    data = b"the quick brown fox jumps over the lazy dog"
+    enc1 = aes_ctr_transform(KEY, 1, data)
+    enc2 = aes_ctr_transform(KEY, 2, data)
+    assert enc1 != data
+    assert enc1 != enc2
+    assert aes_ctr_transform(KEY, 1, enc1) == data
+
+
+def test_ctr_handles_non_block_multiple():
+    data = b"x" * 17
+    assert aes_ctr_transform(KEY, 5, aes_ctr_transform(KEY, 5, data)) == data
+
+
+def test_ctr_nonce_range():
+    with pytest.raises(ValueError):
+        aes_ctr_transform(KEY, 1 << 64, b"data")
+
+
+def test_icv_is_keyed_and_truncated():
+    icv = compute_icv(b"k1", b"payload")
+    assert len(icv) == 12
+    assert icv != compute_icv(b"k2", b"payload")
+    assert icv == compute_icv(b"k1", b"payload")
+
+
+# --------------------------------------------------------------------- AH
+def test_insert_ah_structure():
+    pkt = build_packet(size=120, payload=b"hello")
+    original_proto = pkt.ipv4.protocol
+    insert_ah(pkt, spi=0xABCD, seq=7, icv_key=KEY)
+    assert pkt.has_ah
+    assert pkt.ipv4.protocol == 51
+    ah = pkt.ah
+    assert ah.next_header == original_proto
+    assert ah.spi == 0xABCD
+    assert ah.seq == 7
+    assert ah.payload_len == AhView.HEADER_LEN // 4 - 2
+    assert pkt.wire_len == 120 + AhView.HEADER_LEN
+    assert pkt.ipv4.verify_checksum()
+    # The transport header remains reachable through the AH.
+    assert pkt.tcp.dst_port == 80
+
+
+def test_ah_roundtrip_restores_original_bytes():
+    pkt = build_packet(size=120, payload=b"hello")
+    original = bytes(pkt.buf)
+    insert_ah(pkt, spi=1, seq=1, icv_key=KEY)
+    assert bytes(pkt.buf) != original
+    remove_ah(pkt)
+    assert bytes(pkt.buf) == original
+    assert pkt.wire_len == 120
+
+
+def test_ah_verify_detects_tampering():
+    pkt = build_packet(size=120, payload=b"hello")
+    insert_ah(pkt, spi=1, seq=1, icv_key=KEY)
+    assert verify_ah(pkt, KEY)
+    pkt.buf[-1] ^= 0x01
+    assert not verify_ah(pkt, KEY)
+    with pytest.raises(ValueError):
+        remove_ah(pkt, KEY, verify=True)
+
+
+def test_ah_verify_covers_addresses():
+    pkt = build_packet(size=120, payload=b"hello")
+    insert_ah(pkt, spi=1, seq=1, icv_key=KEY)
+    pkt.ipv4.src_ip = "9.9.9.9"
+    assert not verify_ah(pkt, KEY)
+
+
+def test_double_insert_rejected():
+    pkt = build_packet(size=120)
+    insert_ah(pkt, spi=1, seq=1, icv_key=KEY)
+    with pytest.raises(ValueError):
+        insert_ah(pkt, spi=2, seq=2, icv_key=KEY)
+
+
+def test_remove_without_ah_rejected():
+    pkt = build_packet(size=120)
+    with pytest.raises(ValueError):
+        remove_ah(pkt)
+    assert not verify_ah(pkt, KEY)

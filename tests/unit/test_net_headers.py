@@ -1,0 +1,142 @@
+"""Unit tests for header views and address helpers."""
+
+import pytest
+
+from repro.net import (
+    ETH_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    PROTO_TCP,
+    PROTO_UDP,
+    Ipv4View,
+    TcpView,
+    UdpView,
+    build_packet,
+    bytes_to_mac,
+    int_to_ip,
+    ip_to_int,
+    mac_to_bytes,
+)
+
+
+# ---------------------------------------------------------- address utils
+def test_ip_roundtrip():
+    for address in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"):
+        assert int_to_ip(ip_to_int(address)) == address
+
+
+def test_ip_to_int_known_value():
+    assert ip_to_int("10.0.0.1") == 0x0A000001
+
+
+@pytest.mark.parametrize("bad", ["10.0.0", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+def test_malformed_ip_rejected(bad):
+    with pytest.raises(ValueError):
+        ip_to_int(bad)
+
+
+def test_int_to_ip_range_check():
+    with pytest.raises(ValueError):
+        int_to_ip(1 << 32)
+
+
+def test_mac_roundtrip():
+    mac = "02:aa:bb:cc:dd:ee"
+    assert bytes_to_mac(mac_to_bytes(mac)) == mac
+
+
+def test_malformed_mac_rejected():
+    with pytest.raises(ValueError):
+        mac_to_bytes("02:aa:bb")
+
+
+# ------------------------------------------------------------- eth / ipv4
+def test_ethernet_fields():
+    pkt = build_packet(size=64)
+    assert pkt.eth.ethertype == ETHERTYPE_IPV4
+    pkt.eth.src_mac = "02:01:02:03:04:05"
+    assert pkt.eth.src_mac == "02:01:02:03:04:05"
+    pkt.eth.dst_mac = "02:0a:0b:0c:0d:0e"
+    assert pkt.eth.dst_mac == "02:0a:0b:0c:0d:0e"
+
+
+def test_ipv4_field_readwrite():
+    pkt = build_packet(src_ip="10.1.1.1", dst_ip="10.2.2.2", size=64, ttl=33)
+    ip = pkt.ipv4
+    assert ip.version == 4
+    assert ip.ihl == 5
+    assert ip.header_len == 20
+    assert ip.src_ip == "10.1.1.1"
+    assert ip.dst_ip == "10.2.2.2"
+    assert ip.ttl == 33
+    assert ip.total_length == 64 - ETH_HEADER_LEN
+    ip.src_ip = "172.16.0.9"
+    ip.ttl = 5
+    assert ip.src_ip == "172.16.0.9"
+    assert ip.ttl == 5
+
+
+def test_ipv4_checksum_roundtrip():
+    pkt = build_packet(size=128)
+    assert pkt.ipv4.verify_checksum()
+    pkt.ipv4.dst_ip = "1.2.3.4"
+    assert not pkt.ipv4.verify_checksum()
+    pkt.ipv4.update_checksum()
+    assert pkt.ipv4.verify_checksum()
+
+
+def test_ipv4_dscp_six_bits():
+    pkt = build_packet(size=64)
+    pkt.ipv4.dscp = 46  # EF
+    assert pkt.ipv4.dscp == 46
+    with pytest.raises(ValueError):
+        pkt.ipv4.dscp = 64
+
+
+def test_view_bounds_checked():
+    with pytest.raises(ValueError):
+        Ipv4View(bytearray(10), 0)
+
+
+def test_u16_range_check():
+    pkt = build_packet(size=64)
+    with pytest.raises(ValueError):
+        pkt.tcp.src_port = 70000
+
+
+# -------------------------------------------------------------- tcp / udp
+def test_tcp_fields():
+    pkt = build_packet(src_port=1234, dst_port=80, size=64)
+    tcp = pkt.tcp
+    assert (tcp.src_port, tcp.dst_port) == (1234, 80)
+    assert tcp.data_offset == 5
+    assert tcp.header_len == 20
+    tcp.seq = 0xDEADBEEF
+    tcp.ack = 17
+    tcp.flags = TcpView.FLAG_SYN | TcpView.FLAG_ACK
+    assert tcp.seq == 0xDEADBEEF
+    assert tcp.ack == 17
+    assert tcp.flags & TcpView.FLAG_SYN
+    assert tcp.window == 65535
+
+
+def test_udp_fields():
+    pkt = build_packet(protocol=PROTO_UDP, src_port=53, dst_port=5353,
+                       size=100, payload=b"q")
+    udp = pkt.udp
+    assert (udp.src_port, udp.dst_port) == (53, 5353)
+    assert udp.length == UdpView.HEADER_LEN + (100 - ETH_HEADER_LEN - 20 - 8)
+    with pytest.raises(ValueError):
+        _ = pkt.tcp  # not a TCP packet
+
+
+def test_tcp_accessor_rejects_udp():
+    pkt = build_packet(protocol=PROTO_TCP, size=64)
+    with pytest.raises(ValueError):
+        _ = pkt.udp
+
+
+def test_raw_returns_header_snapshot():
+    pkt = build_packet(size=64)
+    raw = pkt.ipv4.raw()
+    assert len(raw) == 20
+    assert isinstance(raw, bytes)

@@ -1,0 +1,111 @@
+"""Unit tests for the LPM trie and the named-field accessors."""
+
+import pytest
+
+from repro.net import Field, LpmTable, build_packet, read_field, write_field
+
+
+# -------------------------------------------------------------------- LPM
+def test_lpm_longest_match_wins():
+    table = LpmTable()
+    table.insert("10.0.0.0", 8, "coarse")
+    table.insert("10.1.0.0", 16, "fine")
+    table.insert("10.1.2.0", 24, "finest")
+    assert table.lookup("10.1.2.3") == "finest"
+    assert table.lookup("10.1.9.9") == "fine"
+    assert table.lookup("10.9.9.9") == "coarse"
+    assert table.lookup("11.0.0.1") is None
+
+
+def test_lpm_default_route():
+    table = LpmTable()
+    table.insert("0.0.0.0", 0, "default")
+    assert table.lookup("203.0.113.7") == "default"
+
+
+def test_lpm_replace_value():
+    table = LpmTable()
+    table.insert("10.0.0.0", 8, "a")
+    table.insert("10.0.0.0", 8, "b")
+    assert len(table) == 1
+    assert table.lookup("10.1.1.1") == "b"
+
+
+def test_lpm_remove():
+    table = LpmTable()
+    table.insert("10.0.0.0", 8, "a")
+    table.insert("10.1.0.0", 16, "b")
+    assert table.remove("10.1.0.0", 16)
+    assert not table.remove("10.1.0.0", 16)
+    assert not table.remove("172.16.0.0", 12)
+    assert table.lookup("10.1.2.3") == "a"
+    assert len(table) == 1
+
+
+def test_lpm_host_route():
+    table = LpmTable()
+    table.insert("10.0.0.5", 32, "host")
+    assert table.lookup("10.0.0.5") == "host"
+    assert table.lookup("10.0.0.6") is None
+
+
+def test_lpm_prefix_len_validated():
+    with pytest.raises(ValueError):
+        LpmTable().insert("10.0.0.0", 33, "x")
+
+
+def test_lpm_routes_enumeration():
+    table = LpmTable()
+    table.insert("10.0.0.0", 8, 1)
+    table.insert("192.168.1.0", 24, 2)
+    routes = {(p, l): v for p, l, v in table.routes()}
+    assert routes == {("10.0.0.0", 8): 1, ("192.168.1.0", 24): 2}
+
+
+# ----------------------------------------------------------------- fields
+def test_field_parse_and_str():
+    assert Field.parse("sip") is Field.SIP
+    assert Field.parse(" DPORT ") is Field.DPORT
+    assert str(Field.PAYLOAD) == "payload"
+    with pytest.raises(ValueError):
+        Field.parse("nonexistent")
+
+
+def test_field_overlap_semantics():
+    assert Field.SIP.overlaps(Field.SIP)
+    assert not Field.SIP.overlaps(Field.DIP)
+    assert Field.WHOLE_PACKET.overlaps(Field.SPORT)
+    assert Field.TTL.overlaps(Field.WHOLE_PACKET)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        (Field.SIP, "1.2.3.4"),
+        (Field.DIP, "5.6.7.8"),
+        (Field.SPORT, 4242),
+        (Field.DPORT, 8080),
+        (Field.TTL, 9),
+        (Field.DSCP, 34),
+    ],
+)
+def test_field_readwrite_roundtrip(field, value):
+    pkt = build_packet(size=96)
+    write_field(pkt, field, value)
+    assert read_field(pkt, field) == value
+
+
+def test_payload_field_access():
+    pkt = build_packet(size=96, payload=b"abc")
+    data = read_field(pkt, Field.PAYLOAD)
+    assert data.startswith(b"abc")
+    write_field(pkt, Field.PAYLOAD, b"Z" * len(data))
+    assert set(read_field(pkt, Field.PAYLOAD)) == {ord("Z")}
+
+
+def test_structural_field_not_value_addressable():
+    pkt = build_packet(size=96)
+    with pytest.raises(ValueError):
+        read_field(pkt, Field.AH_HEADER)
+    with pytest.raises(ValueError):
+        write_field(pkt, Field.WHOLE_PACKET, b"")

@@ -1,0 +1,450 @@
+"""Unit tests for all network function implementations (§6.1 + Table 2)."""
+
+import pytest
+
+from repro.net import PROTO_UDP, build_packet, verify_ah
+from repro.nfs import (
+    AclRule,
+    AhoCorasick,
+    Caching,
+    Compression,
+    Firewall,
+    Gateway,
+    Ids,
+    Ips,
+    L3Forwarder,
+    LoadBalancer,
+    Monitor,
+    Nat,
+    Nids,
+    Proxy,
+    TrafficShaper,
+    VpnDecryptor,
+    VpnEncryptor,
+    build_acl,
+    build_routing_table,
+    build_signatures,
+    create_nf,
+    nf_class,
+    registered_kinds,
+)
+from repro.nfs.base import NetworkFunction, register_nf_class
+
+
+# -------------------------------------------------------------- framework
+def test_registry_has_all_table2_kinds():
+    kinds = set(registered_kinds())
+    assert {
+        "forwarder", "loadbalancer", "firewall", "monitor", "vpn",
+        "vpn-decrypt", "ids", "nids", "ips", "nat", "caching", "gateway",
+        "proxy", "compression", "shaper",
+    } <= kinds
+
+
+def test_create_nf_by_kind():
+    nf = create_nf("firewall", name="fw-east")
+    assert isinstance(nf, Firewall)
+    assert nf.name == "fw-east"
+    with pytest.raises(KeyError):
+        create_nf("teleporter")
+    assert nf_class("monitor") is Monitor
+
+
+def test_base_class_requires_kind():
+    class NoKind(NetworkFunction):
+        pass
+
+    with pytest.raises(TypeError):
+        NoKind()
+    with pytest.raises(ValueError):
+        register_nf_class(NoKind)
+
+
+def test_handle_tracks_stats_and_trace():
+    mon = Monitor()
+    pkt = build_packet(size=64)
+    mon.handle(pkt)
+    assert mon.rx_packets == 1
+    assert pkt.trace == [mon.name]
+    mon.reset_stats()
+    assert mon.rx_packets == 0
+
+
+# -------------------------------------------------------------- forwarder
+def test_forwarder_decrements_ttl_and_fixes_checksum():
+    fwd = L3Forwarder()
+    pkt = build_packet(size=64, ttl=10)
+    ctx = fwd.handle(pkt)
+    assert not ctx.dropped
+    assert pkt.ipv4.ttl == 9
+    assert pkt.ipv4.verify_checksum()
+    assert fwd.last_next_hop is not None
+
+
+def test_forwarder_drops_expired_ttl():
+    fwd = L3Forwarder()
+    pkt = build_packet(size=64, ttl=1)
+    assert fwd.handle(pkt).dropped
+
+
+def test_forwarder_drops_unroutable_without_default():
+    from repro.net import LpmTable
+
+    table = LpmTable()
+    table.insert("10.0.0.0", 8, "hop")
+    fwd = L3Forwarder(routes=table)
+    assert not fwd.handle(build_packet(dst_ip="10.1.1.1", size=64)).dropped
+    assert fwd.handle(build_packet(dst_ip="172.16.0.1", size=64)).dropped
+    assert fwd.no_route == 1
+
+
+def test_routing_table_has_requested_entries_and_default():
+    table = build_routing_table(entries=200)
+    assert len(table) == 200
+    assert table.lookup("203.0.113.200") is not None  # default route
+
+
+# --------------------------------------------------------------- firewall
+def test_firewall_default_permit():
+    fw = Firewall()
+    assert not fw.handle(build_packet(src_ip="10.3.3.3", size=64)).dropped
+    assert fw.permitted == 1
+
+
+def test_firewall_deny_rule_matches():
+    deny = AclRule(src_prefix=("192.168.1.0", 24), permit=False)
+    fw = Firewall(acl=[deny])
+    assert fw.handle(build_packet(src_ip="192.168.1.50", size=64)).dropped
+    assert fw.denied == 1
+    assert not fw.handle(build_packet(src_ip="192.168.2.50", size=64)).dropped
+
+
+def test_firewall_first_match_wins():
+    allow = AclRule(src_prefix=("192.168.1.0", 24), permit=True)
+    deny = AclRule(src_prefix=("192.168.0.0", 16), permit=False)
+    fw = Firewall(acl=[allow, deny])
+    assert not fw.handle(build_packet(src_ip="192.168.1.9", size=64)).dropped
+    assert fw.handle(build_packet(src_ip="192.168.9.9", size=64)).dropped
+
+
+def test_firewall_port_range_match():
+    deny = AclRule(dport_range=(1000, 2000), permit=False)
+    fw = Firewall(acl=[deny])
+    assert fw.handle(build_packet(dst_port=1500, size=64)).dropped
+    assert not fw.handle(build_packet(dst_port=80, size=64)).dropped
+
+
+def test_acl_rule_validation():
+    with pytest.raises(ValueError):
+        AclRule(src_prefix=("10.0.0.0", 40))
+    with pytest.raises(ValueError):
+        AclRule(sport_range=(10, 5))
+
+
+def test_default_acl_passes_lab_traffic():
+    fw = Firewall(acl=build_acl())
+    for i in range(50):
+        pkt = build_packet(src_ip=f"10.0.0.{i + 1}", size=64)
+        assert not fw.handle(pkt).dropped
+
+
+# ---------------------------------------------------------------- monitor
+def test_monitor_counts_per_flow():
+    mon = Monitor()
+    a = build_packet(src_port=1, size=64)
+    b = build_packet(src_port=2, size=128)
+    mon.handle(a)
+    mon.handle(a.full_copy(1))
+    mon.handle(b)
+    assert mon.flow_count() == 2
+    assert mon.totals() == (3, 64 + 64 + 128)
+    stats = mon.stats_for(a.five_tuple())
+    assert stats.packets == 2
+    top = mon.top_flows(1)
+    assert top[0][0] == a.five_tuple()
+
+
+# ------------------------------------------------------------------ LB
+def test_loadbalancer_rewrites_and_checksums():
+    lb = LoadBalancer(backends=["172.16.0.1", "172.16.0.2"], vip="10.255.0.9")
+    pkt = build_packet(size=64)
+    lb.handle(pkt)
+    assert pkt.ipv4.src_ip == "10.255.0.9"
+    assert pkt.ipv4.dst_ip in lb.backends
+    assert pkt.ipv4.verify_checksum()
+
+
+def test_loadbalancer_is_flow_consistent():
+    lb = LoadBalancer()
+    picks = set()
+    for _ in range(5):
+        pkt = build_packet(src_port=777, size=64)
+        picks.add(lb.pick_backend(pkt))
+    assert len(picks) == 1
+
+
+def test_loadbalancer_spreads_flows():
+    lb = LoadBalancer()
+    for i in range(400):
+        lb.handle(build_packet(src_port=1000 + i, size=64))
+    assert lb.imbalance() < 1.6
+
+
+def test_loadbalancer_requires_backends():
+    with pytest.raises(ValueError):
+        LoadBalancer(backends=[])
+
+
+# -------------------------------------------------------------------- VPN
+def test_vpn_roundtrip_and_metadata():
+    enc, dec = VpnEncryptor(), VpnDecryptor()
+    pkt = build_packet(size=200, payload=b"top secret")
+    original = bytes(pkt.buf)
+    enc.handle(pkt)
+    assert pkt.has_ah
+    assert verify_ah(pkt, enc.key)
+    assert b"top secret" not in bytes(pkt.buf)
+    dec.handle(pkt)
+    assert bytes(pkt.buf) == original
+
+
+def test_vpn_second_hop_reencrypts_without_stacking_headers():
+    enc = VpnEncryptor()
+    pkt = build_packet(size=128, payload=b"pp")
+    enc.handle(pkt)
+    first_len = len(pkt.buf)
+    assert not enc.handle(pkt).dropped
+    assert len(pkt.buf) == first_len  # no second AH
+    assert pkt.ah.seq == 2
+
+
+def test_vpn_decryptor_rejects_plain_packet():
+    assert VpnDecryptor().handle(build_packet(size=128)).dropped
+
+
+def test_vpn_decryptor_detects_tampering():
+    enc, dec = VpnEncryptor(), VpnDecryptor()
+    pkt = build_packet(size=200, payload=b"x")
+    enc.handle(pkt)
+    pkt.buf[-1] ^= 0xFF
+    assert dec.handle(pkt).dropped
+    assert dec.auth_failures == 1
+
+
+def test_vpn_key_length_checked():
+    with pytest.raises(ValueError):
+        VpnEncryptor(key=b"short")
+
+
+# ---------------------------------------------------------------- IDS/IPS
+def test_ids_alerts_without_dropping():
+    ids = Ids(signatures=[b"evil-signature"])
+    pkt = build_packet(size=200, payload=b"prefix evil-signature suffix")
+    assert not ids.handle(pkt).dropped
+    assert ids.alerts == 1
+
+
+def test_ids_counts_multiple_matches():
+    ids = Ids(signatures=[b"aa"])
+    pkt = build_packet(size=200, payload=b"aaa")  # two overlapping matches
+    ids.handle(pkt)
+    assert ids.alerts == 2
+
+
+def test_ips_drops_on_match():
+    ips = Ips(signatures=[b"evil"])
+    assert ips.handle(build_packet(size=128, payload=b"so evil")).dropped
+    assert ips.blocked == 1
+    assert not ips.handle(build_packet(size=128, payload=b"benign")).dropped
+
+
+def test_nids_is_detection_only():
+    nids = Nids(signatures=[b"evil"])
+    assert not nids.handle(build_packet(size=128, payload=b"evil")).dropped
+
+
+def test_signature_corpus_deterministic():
+    assert build_signatures(50) == build_signatures(50)
+    assert len(build_signatures(100)) == 100
+
+
+# -------------------------------------------------------------------- NAT
+def test_nat_allocates_stable_bindings():
+    nat = Nat()
+    p1 = build_packet(src_ip="10.0.0.1", src_port=5000, size=64)
+    p2 = build_packet(src_ip="10.0.0.1", src_port=5000, size=64)
+    nat.handle(p1)
+    nat.handle(p2)
+    assert nat.binding_count() == 1
+    assert p1.tcp.src_port == p2.tcp.src_port
+    assert p1.ipv4.src_ip == nat.external_ip
+    assert p1.ipv4.verify_checksum()
+
+
+def test_nat_distinct_flows_distinct_ports():
+    nat = Nat()
+    p1 = build_packet(src_ip="10.0.0.1", src_port=5000, size=64)
+    p2 = build_packet(src_ip="10.0.0.2", src_port=5000, size=64)
+    nat.handle(p1)
+    nat.handle(p2)
+    assert p1.tcp.src_port != p2.tcp.src_port
+    binding = nat.lookup_external(p2.tcp.src_port)
+    assert binding.internal_ip == "10.0.0.2"
+
+
+def test_nat_handles_udp_and_rejects_others():
+    nat = Nat()
+    udp = build_packet(protocol=PROTO_UDP, size=64)
+    assert not nat.handle(udp).dropped
+    icmp_like = build_packet(size=64)
+    icmp_like.ipv4.protocol = 1
+    assert nat.handle(icmp_like).dropped
+
+
+def test_nat_pool_exhaustion_is_contained():
+    # Port-pool exhaustion raises inside the NF; the fault-isolation
+    # boundary in handle() converts it to a counted drop.
+    nat = Nat(port_count=2)
+    nat.handle(build_packet(src_ip="10.0.0.1", src_port=1, size=64))
+    nat.handle(build_packet(src_ip="10.0.0.2", src_port=1, size=64))
+    ctx = nat.handle(build_packet(src_ip="10.0.0.3", src_port=1, size=64))
+    assert ctx.dropped
+    assert "nf-error" in ctx.drop_reason
+    assert nat.errors == 1
+
+
+# ------------------------------------------------------------------ misc
+def test_caching_hit_ratio_converges():
+    cache = Caching(hit_ratio=0.8)
+    for i in range(500):
+        cache.handle(build_packet(dst_ip=f"10.9.{i % 250}.{i % 99 + 1}",
+                                  size=96, payload=b"%d" % i))
+    assert abs(cache.observed_hit_ratio() - 0.8) < 0.1
+
+
+def test_caching_is_deterministic_per_request():
+    a, b = Caching(seed=1), Caching(seed=1)
+    pkt = build_packet(size=96, payload=b"req")
+    a.handle(pkt)
+    b.handle(pkt.full_copy(1))
+    assert (a.hits, a.misses) == (b.hits, b.misses)
+
+
+def test_gateway_counts_address_pairs():
+    gw = Gateway()
+    gw.handle(build_packet(src_ip="10.0.0.1", dst_ip="10.0.0.9", size=64))
+    gw.handle(build_packet(src_ip="10.0.0.1", dst_ip="10.0.0.9", size=64))
+    gw.handle(build_packet(src_ip="10.0.0.2", dst_ip="10.0.0.9", size=64))
+    assert gw.pair_count() == 2
+
+
+def test_proxy_redirects_and_stamps():
+    proxy = Proxy(origin="198.51.100.77")
+    pkt = build_packet(size=128, payload=b"GET / HTTP/1.1 request padding")
+    proxy.handle(pkt)
+    assert pkt.ipv4.dst_ip == "198.51.100.77"
+    assert pkt.payload.startswith(Proxy.VIA_TAG)
+    assert pkt.ipv4.verify_checksum()
+
+
+def test_compression_is_involutive():
+    codec = Compression()
+    pkt = build_packet(size=128, payload=b"compressible data")
+    before = pkt.payload
+    codec.handle(pkt)
+    assert pkt.payload != before
+    codec.handle(pkt)
+    assert pkt.payload == before
+    with pytest.raises(ValueError):
+        Compression(key=300)
+
+
+def test_shaper_token_bucket():
+    shaper = TrafficShaper(rate_bytes_per_us=100.0, burst_bytes=200, police=True)
+    big = build_packet(size=128)
+    assert not shaper.handle(big).dropped  # 200 - 128 = 72 tokens left
+    assert shaper.handle(build_packet(size=128)).dropped  # out of profile
+    shaper.advance_time(10.0)  # refill 1000 -> capped at burst
+    assert not shaper.handle(build_packet(size=128)).dropped
+
+
+def test_shaper_counts_without_policing():
+    shaper = TrafficShaper(rate_bytes_per_us=1.0, burst_bytes=64)
+    shaper.handle(build_packet(size=64))
+    assert not shaper.handle(build_packet(size=64)).dropped
+    assert shaper.out_of_profile == 1
+
+
+# ----------------------------------------------------------- aho-corasick
+def test_aho_corasick_classic_example():
+    ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+    found = sorted(p for p, _ in ac.findall(b"ushers"))
+    assert found == [b"he", b"hers", b"she"]
+
+
+def test_aho_corasick_overlapping_matches():
+    ac = AhoCorasick([b"aa"])
+    assert ac.match_count(b"aaaa") == 3
+
+
+def test_aho_corasick_no_match():
+    ac = AhoCorasick([b"needle"])
+    assert ac.match_count(b"haystack" * 10) == 0
+
+
+def test_aho_corasick_rejects_empty_pattern():
+    with pytest.raises(ValueError):
+        AhoCorasick([b""])
+
+
+def test_aho_corasick_end_offsets():
+    ac = AhoCorasick([b"bc"])
+    assert list(ac.finditer(b"abcabc")) == [(0, 3), (0, 6)]
+
+
+# --------------------------------------------------------- IDS signatures
+def test_signature_constraints_filter_matches():
+    from repro.nfs import Signature
+    from repro.net import PROTO_TCP
+
+    sig = Signature(b"attack", msg="http attack", protocol=PROTO_TCP, dport=80)
+    ids = Ids(signatures=[sig])
+    hit = build_packet(dst_port=80, size=200, payload=b"an attack here")
+    miss_port = build_packet(dst_port=443, size=200, payload=b"an attack here")
+    ids.handle(hit)
+    ids.handle(miss_port)
+    assert ids.alerts == 1
+    assert ids.alerts_by_sid[sig.sid] == 1
+
+
+def test_signature_validation_and_sid_allocation():
+    from repro.nfs import Signature
+
+    with pytest.raises(ValueError):
+        Signature(b"")
+    a, b = Signature(b"x"), Signature(b"y")
+    assert a.sid != b.sid
+    explicit = Signature(b"z", sid=424242)
+    assert explicit.sid == 424242
+
+
+def test_ids_accepts_mixed_signature_types():
+    from repro.nfs import Signature
+
+    ids = Ids(signatures=[b"raw-pattern", Signature(b"rule-pattern", dport=80)])
+    pkt = build_packet(dst_port=80, size=200,
+                       payload=b"raw-pattern and rule-pattern")
+    ids.handle(pkt)
+    assert ids.alerts == 2
+
+
+def test_ids_per_rule_counters():
+    from repro.nfs import Signature
+
+    noisy = Signature(b"aa", msg="noisy")
+    quiet = Signature(b"zz", msg="quiet")
+    ids = Ids(signatures=[noisy, quiet])
+    ids.handle(build_packet(size=200, payload=b"aaa"))  # two hits of "aa"
+    ids.handle(build_packet(size=200, payload=b"zz"))
+    assert ids.alerts_by_sid[noisy.sid] == 2
+    assert ids.alerts_by_sid[quiet.sid] == 1

@@ -1,0 +1,117 @@
+"""Unit tests for profile serialization and policy conflict resolution."""
+
+import pytest
+
+from repro.core import (
+    Orchestrator,
+    Policy,
+    check_policy,
+    default_action_table,
+)
+from repro.core.profiles_io import (
+    load_action_table,
+    profile_from_dict,
+    profile_to_dict,
+    save_action_table,
+)
+from repro.core.resolution import resolve_policy
+from repro.net import Field
+
+
+# ----------------------------------------------------------- profiles I/O
+def test_profile_dict_roundtrip_all_table2_rows():
+    table = default_action_table()
+    for profile in table:
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored == profile
+        assert restored.deployment_share == profile.deployment_share
+
+
+def test_profile_dict_shape():
+    data = profile_to_dict(default_action_table().fetch("vpn"))
+    assert data["name"] == "vpn"
+    assert data["adds"] == ["ah"]
+    assert data["writes"] == ["payload"]
+    assert data["drop"] is False
+
+
+def test_profile_from_dict_validation():
+    with pytest.raises(ValueError):
+        profile_from_dict({"reads": ["sip"]})  # no name
+    with pytest.raises(ValueError):
+        profile_from_dict({"name": "x", "reads": ["not-a-field"]})
+
+
+def test_action_table_file_roundtrip(tmp_path):
+    table = default_action_table()
+    path = tmp_path / "table2.json"
+    save_action_table(table, path)
+    restored = load_action_table(path)
+    assert restored.names() == table.names()
+    for name in table.names():
+        assert restored.fetch(name) == table.fetch(name)
+
+
+def test_loaded_table_compiles_policies(tmp_path):
+    path = tmp_path / "t.json"
+    save_action_table(default_action_table(), path)
+    orch = Orchestrator(action_table=load_action_table(path))
+    graph = orch.compile(Policy.from_chain(["ids", "monitor", "loadbalancer"])).graph
+    assert graph.describe() == "(ids | monitor | loadbalancer[v2])"
+
+
+# ------------------------------------------------------------- resolution
+def test_resolve_clean_policy_is_noop():
+    policy = Policy.from_chain(["firewall", "monitor"])
+    report = resolve_policy(policy)
+    assert report.clean
+    assert report.policy.rules == policy.rules
+
+
+def test_resolve_order_cycle_drops_latest_rule():
+    policy = Policy().order("a", "b").order("b", "c").order("c", "a")
+    report = resolve_policy(policy)
+    assert not report.clean
+    assert check_policy(report.policy).ok
+    # The two earlier rules survive.
+    remaining = [(r.before, r.after) for r in report.policy.order_rules()]
+    assert ("a", "b") in remaining and ("b", "c") in remaining
+    assert ("c", "a") not in remaining
+
+
+def test_resolve_position_clash_keeps_first_pin():
+    policy = Policy().position("x", "first").position("y", "first")
+    report = resolve_policy(policy)
+    assert check_policy(report.policy).ok
+    pins = list(report.policy.position_rules())
+    assert len(pins) == 1 and pins[0].nf == "x"
+
+
+def test_resolve_order_position_contradiction_position_wins():
+    policy = Policy().position("vpn", "first").order("firewall", "vpn")
+    report = resolve_policy(policy)
+    assert check_policy(report.policy).ok
+    assert list(report.policy.position_rules())
+    assert not any(r.after == "vpn" for r in report.policy.order_rules())
+
+
+def test_resolve_priority_contradiction():
+    policy = Policy().priority("a", "b").priority("b", "a")
+    report = resolve_policy(policy)
+    assert check_policy(report.policy).ok
+    priorities = list(report.policy.priority_rules())
+    assert len(priorities) == 1
+    assert (priorities[0].high, priorities[0].low) == ("a", "b")
+
+
+def test_resolved_policy_compiles():
+    policy = Policy(name="messy")
+    for rule in (
+        ("vpn", "monitor"), ("monitor", "firewall"),
+        ("firewall", "loadbalancer"), ("loadbalancer", "vpn"),  # cycle!
+    ):
+        policy.order(*rule)
+    report = resolve_policy(policy)
+    graph = Orchestrator().compile(report.policy).graph
+    assert len(graph.nf_names()) == 4
+    assert len(report.dropped) == 1

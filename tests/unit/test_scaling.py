@@ -1,0 +1,70 @@
+"""Unit tests for the §7 NF scaling analysis."""
+
+import pytest
+
+from repro.core import Orchestrator, Policy
+from repro.core.scaling import plan_scale_out
+from repro.eval import forced_sequential, nfp_capacity
+from repro.sim import DEFAULT_PARAMS
+
+
+def graph_for(chain):
+    return Orchestrator().compile(Policy.from_chain(chain)).graph
+
+
+def test_single_instances_when_target_below_capacity():
+    graph = graph_for(["firewall", "monitor"])
+    capacity = nfp_capacity(graph, DEFAULT_PARAMS).mpps
+    plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=capacity * 0.5)
+    assert plan.feasible
+    assert all(count == 1 for count in plan.instances.values())
+    assert plan.achievable_mpps >= capacity * 0.5
+
+
+def test_heavy_nf_gets_replicated():
+    graph = forced_sequential(["ids"])
+    plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=5.0)
+    assert plan.feasible
+    # IDS sustains ~1.37 Mpps per instance -> 4 instances for 5 Mpps.
+    assert plan.instances["ids0"] == 4
+    assert plan.achievable_mpps >= 5.0
+    assert "ids0" in plan.scaled_components()
+
+
+def test_line_rate_is_a_hard_ceiling():
+    graph = graph_for(["firewall", "monitor"])
+    plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=50.0)
+    assert not plan.feasible
+    assert plan.limiting == "nic"
+    assert plan.achievable_mpps == pytest.approx(
+        DEFAULT_PARAMS.line_rate_mpps(64), rel=0.01
+    )
+
+
+def test_core_budget_degrades_plan():
+    graph = forced_sequential(["ids"])
+    unconstrained = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=5.0)
+    constrained = plan_scale_out(
+        graph, DEFAULT_PARAMS, target_mpps=5.0,
+        available_cores=unconstrained.total_nf_cores - 1,
+    )
+    assert constrained.total_nf_cores < unconstrained.total_nf_cores
+    assert constrained.achievable_mpps < unconstrained.achievable_mpps
+
+
+def test_mergers_count_toward_scaling():
+    graph = graph_for(["firewall", "monitor"])  # parallel -> merger present
+    plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=12.0)
+    assert plan.instances.get("merger", 0) >= 2  # one merger caps at ~10.7
+
+
+def test_invalid_target_rejected():
+    graph = graph_for(["firewall"])
+    with pytest.raises(ValueError):
+        plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=0)
+
+
+def test_plan_str_smoke():
+    graph = graph_for(["firewall", "monitor"])
+    plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=2.0)
+    assert "Mpps" in str(plan)

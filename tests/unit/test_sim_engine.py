@@ -1,0 +1,256 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(5.0)
+        seen.append(env.now)
+        yield env.timeout(2.5)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [5.0, 7.5]
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    got = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        got.append(value)
+
+    env.process(proc())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc("b", 2.0))
+    env.process(proc("a", 1.0))
+    env.process(proc("c", 3.0))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("x", "y", "z"):
+        env.process(proc(name))
+    env.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_process_is_event_joinable():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(3.0)
+        return "result"
+
+    def parent():
+        value = yield env.process(child())
+        log.append((env.now, value))
+
+    env.process(parent())
+    env.run()
+    assert log == [(3.0, "result")]
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    log = []
+    gate = env.event()
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(4.0)
+        gate.succeed(42)
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(4.0, 42)]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    caught = []
+    gate = env.event()
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("kaput")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="kaput"):
+        env.run()
+
+
+def test_run_until_pauses_clock():
+    env = Environment()
+    seen = []
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1.0)
+            seen.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert env.now == 3.5
+    assert seen == [1.0, 2.0, 3.0]
+    env.run()
+    assert len(seen) == 10
+
+
+def test_run_until_in_past_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    assert env.now == 5.0
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    log = []
+
+    def waiter():
+        values = yield env.all_of([env.timeout(1, "a"), env.timeout(5, "b")])
+        log.append((env.now, values))
+
+    env.process(waiter())
+    env.run()
+    assert log == [(5.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    log = []
+
+    def waiter():
+        value = yield env.any_of([env.timeout(4, "slow"), env.timeout(2, "fast")])
+        log.append((env.now, value))
+
+    env.process(waiter())
+    env.run()
+    assert log == [(2.0, "fast")]
+
+
+def test_interrupt_running_process():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def attacker(target):
+        yield env.timeout(2.0)
+        target.interrupt("stop now")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == [(2.0, "stop now")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_yield_non_event_rejected():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(7.0)
+
+    env.process(proc())
+    env.step()  # bootstrap event at t=0
+    assert env.peek() == 7.0
+    env.run()
+    assert env.peek() == float("inf")

@@ -1,0 +1,86 @@
+"""Unit tests for the rejected XOR-merge design (§5.3 discussion)."""
+
+import pytest
+
+from repro.dataplane.xor_merger import XorMergeError, XorMerger
+from repro.net import build_packet, insert_ah
+
+
+def test_xor_merge_combines_disjoint_field_writes():
+    merger = XorMerger()
+    pkt = build_packet(size=96)
+    original = merger.retain(pkt)
+
+    v1 = original.full_copy(1)
+    v1.ipv4.ttl = 7
+    v2 = original.full_copy(2)
+    v2.ipv4.dst_ip = "4.4.4.4"
+
+    merged = merger.merge(original, {1: v1, 2: v2})
+    assert merged.ipv4.ttl == 7
+    assert merged.ipv4.dst_ip == "4.4.4.4"
+    assert merger.merged == 1
+
+
+def test_xor_merge_matches_mo_merge_for_value_writes():
+    from repro.core import MergeOp, MergeOpKind
+    from repro.dataplane import apply_merge_ops
+    from repro.net import Field
+
+    xor = XorMerger()
+    pkt = build_packet(size=128)
+    original = xor.retain(pkt)
+
+    v1 = original.full_copy(1)
+    v2 = original.full_copy(2)
+    v2.ipv4.src_ip = "9.9.9.9"
+    v2.ipv4.update_checksum()
+    xor_out = xor.merge(original, {1: v1, 2: v2})
+
+    base = build_packet(size=128)
+    base.buf[:] = bytes(original.buf)
+    copy = base.full_copy(2)
+    copy.ipv4.src_ip = "9.9.9.9"
+    copy.ipv4.update_checksum()
+    mo_out = apply_merge_ops(
+        {1: base, 2: copy}, [MergeOp(MergeOpKind.MODIFY, Field.SIP, 2)]
+    )
+    assert bytes(xor_out.buf) == bytes(mo_out.buf)
+
+
+def test_xor_merge_cannot_handle_header_addition():
+    # Drawback 2: the paper's stated reason for rejecting the design.
+    merger = XorMerger()
+    pkt = build_packet(size=96)
+    original = merger.retain(pkt)
+    v1 = original.full_copy(1)
+    insert_ah(v1, spi=1, seq=1, icv_key=b"k" * 16)
+    with pytest.raises(XorMergeError, match="addition/removal"):
+        merger.merge(original, {1: v1})
+    assert merger.rejected == 1
+
+
+def test_xor_merge_handles_drop_via_nil():
+    merger = XorMerger()
+    pkt = build_packet(size=96)
+    original = merger.retain(pkt)
+    assert merger.merge(original, {1: original.make_nil()}) is None
+
+
+def test_xor_merge_memory_overhead_is_full_packet():
+    # Drawback 3: a full original per packet, vs nothing for MO merging.
+    merger = XorMerger()
+    assert merger.memory_overhead_bytes(724, 2) == 724
+    assert merger.memory_overhead_bytes(1500, 5) == 1500
+    with pytest.raises(ValueError):
+        merger.memory_overhead_bytes(0, 2)
+    pkt = build_packet(size=512)
+    merger.retain(pkt)
+    assert merger.original_bytes_retained == 512
+
+
+def test_xor_merge_requires_versions():
+    merger = XorMerger()
+    pkt = build_packet(size=96)
+    with pytest.raises(XorMergeError):
+        merger.merge(merger.retain(pkt), {})
