@@ -8,7 +8,12 @@ compile
     CT/FT tables.
 measure
     Run a chain on the simulated testbed under NFP / OpenNetVM / BESS
-    and print latency, throughput, and overhead.
+    and print latency, throughput, and overhead.  ``--telemetry``
+    additionally collects and prints per-NF metrics for the NFP runs.
+trace
+    Run a chain with packet-lifecycle tracing enabled; write a Chrome
+    ``trace_event`` file (chrome://tracing / Perfetto) and print the
+    per-NF summary table.
 pairs
     Print the §4.3 parallelizability matrix and summary statistics.
 sweep
@@ -76,16 +81,20 @@ def cmd_compile(args) -> int:
 
 
 def cmd_measure(args) -> int:
+    from .telemetry import TelemetryHub, nf_summary_table
+
     chain = _chain_from(args)
     rows = []
+    hub = TelemetryHub() if args.telemetry else None
     systems = args.systems.split(",")
     for system in systems:
         system = system.strip().lower()
         if system == "nfp":
             graph = Orchestrator().compile(Policy.from_chain(chain)).graph
-            result = measure_nfp(graph, packets=args.packets)
+            result = measure_nfp(graph, packets=args.packets, telemetry=hub)
         elif system == "nfp-seq":
-            result = measure_nfp(forced_sequential(chain), packets=args.packets)
+            result = measure_nfp(forced_sequential(chain), packets=args.packets,
+                                 telemetry=hub)
         elif system == "onvm":
             result = measure_onvm(chain, packets=args.packets)
         elif system == "bess":
@@ -101,6 +110,49 @@ def cmd_measure(args) -> int:
     print(render_table(
         ["system", "graph", "lat us", "p99 us", "Mpps", "bottleneck",
          "overhead %"], rows))
+    if hub is not None and hub.registry.counters:
+        print("\nper-NF telemetry (NFP runs):")
+        print(nf_summary_table(hub.registry))
+        print(f"\ncopies: full={hub.registry.counter_value('copy.full')} "
+              f"header={hub.registry.counter_value('copy.header')}  "
+              f"ring hops: {hub.registry.counter_value('ring.hops')}  "
+              f"merged: {hub.registry.counter_value('merger.merged')}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Trace packet lifecycles through a compiled graph (Chrome export)."""
+    from .telemetry import (
+        TelemetryHub,
+        Tracer,
+        events_to_jsonl,
+        nf_summary_table,
+        write_chrome_trace,
+    )
+
+    policy = _load_policy(args)
+    graph = Orchestrator().compile(policy).graph
+    tracer = Tracer(max_events=args.max_events)
+    hub = TelemetryHub(tracer=tracer)
+    result = measure_nfp(graph, packets=args.packets, telemetry=hub)
+
+    traces = tracer.traces()
+    complete = sum(1 for trace in traces.values() if trace.is_complete())
+    written = write_chrome_trace(tracer.events, args.out)
+
+    print(f"graph          : {graph.describe()}")
+    print(f"packets traced : {len(traces)} ({complete} complete lifecycles)")
+    print(f"span events    : {len(tracer.events)} "
+          f"(overflowed: {tracer.overflow})")
+    print(f"chrome trace   : {args.out} ({written} trace events) "
+          f"-- open in chrome://tracing or https://ui.perfetto.dev")
+    if args.jsonl:
+        count = events_to_jsonl(tracer.events, args.jsonl)
+        print(f"jsonl dump     : {args.jsonl} ({count} lines)")
+    print(f"mean latency   : {result.latency_mean_us:.1f} us  "
+          f"p99: {result.latency_p99_us:.1f} us  "
+          f"tput: {result.throughput_mpps:.2f} Mpps\n")
+    print(nf_summary_table(hub.registry))
     return 0
 
 
@@ -214,7 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument("--chain", required=True)
     p_measure.add_argument("--systems", default="nfp,onvm,bess")
     p_measure.add_argument("--packets", type=int, default=2000)
+    p_measure.add_argument("--telemetry", action="store_true",
+                           help="collect and print per-NF metrics (NFP runs)")
     p_measure.set_defaults(func=cmd_measure)
+
+    p_trace = sub.add_parser("trace",
+                             help="trace packet lifecycles through a chain")
+    p_trace.add_argument("--policy", help="policy DSL file")
+    p_trace.add_argument("--chain", help="comma-separated NF kinds")
+    p_trace.add_argument("--packets", type=int, default=500)
+    p_trace.add_argument("--out", default="nfp-trace.json",
+                         help="Chrome trace_event output file")
+    p_trace.add_argument("--jsonl", help="also dump raw span events as JSONL")
+    p_trace.add_argument("--max-events", type=int, default=None,
+                         help="cap stored span events (default: unbounded)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_pairs = sub.add_parser("pairs", help="§4.3 parallelizability matrix")
     p_pairs.set_defaults(func=cmd_pairs)

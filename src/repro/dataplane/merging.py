@@ -36,22 +36,29 @@ _IP_FIELDS = {_f.Field.SIP, _f.Field.DIP, _f.Field.TTL, _f.Field.DSCP}
 
 
 def apply_merge_ops(
-    versions: Dict[int, Packet], ops: Iterable[MergeOp]
+    versions: Dict[int, Packet], ops: Iterable[MergeOp], telemetry=None
 ) -> Optional[Packet]:
     """Merge packet ``versions`` into the final output packet.
 
     ``versions`` maps version number -> the processed packet copy; it
     must contain version 1.  Returns the merged packet (version 1's
     buffer, modified in place), or ``None`` when any version is nil.
+
+    ``telemetry`` is an optional :class:`repro.telemetry.TelemetryHub`;
+    when enabled, applied operations are counted per kind under
+    ``merge.ops.*``.
     """
     if ORIGINAL_VERSION not in versions:
         raise MergeError("version 1 missing from merge set")
     if any(pkt.nil for pkt in versions.values()):
         return None
 
+    count_ops = telemetry is not None and telemetry.enabled
     base = versions[ORIGINAL_VERSION]
     checksum_dirty = False
     for op in ops:
+        if count_ops:
+            telemetry.inc(f"merge.ops.{op.kind.value}")
         if op.kind is MergeOpKind.MODIFY:
             source = _require(versions, op.src_version)
             _f.write_field(base, op.field, _f.read_field(source, op.field))

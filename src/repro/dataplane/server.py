@@ -42,6 +42,8 @@ from ..net.packet import HEADER_COPY_BYTES, Packet, PacketMeta
 from ..nfs.base import NetworkFunction, create_nf
 from ..sim import Core, Environment, Nic, PacketPool, RateMeter, Ring, SimParams
 from ..sim.stats import LatencyStats
+from ..telemetry.hooks import NULL_HUB, TelemetryHub
+from ..telemetry.tracer import SpanKind
 from .chaining import ChainingManager
 from .merging import apply_merge_ops
 
@@ -79,10 +81,15 @@ class _NFRuntimeSim:
         # makes per-stage queueing (and hence the parallelism win)
         # behave like the real system.
         params = self.server.params
+        hub = self.server.telemetry
+        enabled = hub.enabled  # fixed for the server's lifetime
         while True:
             first = yield self.rx.get()
             batch = [first] + self.rx.get_batch(params.batch_size - 1)
             for pkt in batch:
+                if enabled:
+                    hub.span(SpanKind.NF_START, self.server.env.now, pkt.meta,
+                             name=self.nf.name)
                 if pkt.nil:
                     service = params.nf_runtime_us
                 else:
@@ -91,6 +98,10 @@ class _NFRuntimeSim:
                     )
                 yield self.core.execute(service)
                 pkt.stamp(f"nf:{self.nf.name}", self.server.env.now)
+                if enabled:
+                    hub.observe(f"nf.{self.nf.name}.service_us", service)
+                    hub.span(SpanKind.NF_END, self.server.env.now, pkt.meta,
+                             name=self.nf.name, duration_us=service)
             for pkt in batch:
                 extra = self.server.nf_complete(self, pkt)
                 if extra > 0:
@@ -157,12 +168,19 @@ class _MergerSim:
 
     def _accumulate(self, pkt: Packet):
         meta = pkt.meta
+        hub = self.server.telemetry
         key = (meta.mid, meta.pid)
         entry = self.at.get(key)
         if entry is None:
             entry = {"count": 0, "versions": {}, "nil": False}
             self.at[key] = entry
             self.at_high_watermark = max(self.at_high_watermark, len(self.at))
+            if hub.enabled:
+                hub.inc("merger.at_insert")
+                hub.span(SpanKind.MERGE_WAIT, self.server.env.now, meta,
+                         name=f"merger{self.index}")
+        elif hub.enabled:
+            hub.inc("merger.at_hit")
         entry["count"] += 1
         entry["versions"][meta.version] = pkt
         entry["nil"] = entry["nil"] or pkt.nil
@@ -174,12 +192,23 @@ class _MergerSim:
 
     def _finish(self, entry: Dict, graph: ServiceGraph) -> None:
         params = self.server.params
+        hub = self.server.telemetry
         if entry["nil"]:
             self.discarded += 1
-            self.server.record_drop(entry["versions"].get(ORIGINAL_VERSION))
+            if hub.enabled:
+                hub.inc("merger.discarded")
+            dropped = entry["versions"].get(ORIGINAL_VERSION)
+            if dropped is None:
+                dropped = next(iter(entry["versions"].values()), None)
+            self.server.record_drop(dropped)
             return
-        merged = apply_merge_ops(entry["versions"], graph.merge_ops)
+        merged = apply_merge_ops(entry["versions"], graph.merge_ops,
+                                 telemetry=hub)
         merged.stamp("merged", self.server.env.now)
+        if hub.enabled:
+            hub.inc("merger.merged")
+            hub.span(SpanKind.MERGE_APPLY, self.server.env.now, merged.meta,
+                     name=f"merger{self.index}")
         self.merged += 1
         # Rendezvous latency: AT bookkeeping plus the copy-collection
         # penalty (§6.3.2), charged as pipeline latency, not core time.
@@ -200,9 +229,13 @@ class NFPServer:
         params: SimParams,
         num_mergers: int = 1,
         nf_factory: Optional[Callable[[str, str], NetworkFunction]] = None,
+        telemetry: Optional[TelemetryHub] = None,
     ):
         self.env = env
         self.params = params
+        #: Telemetry hub shared by the classifier, runtimes, mergers and
+        #: NFs; the disabled NULL_HUB by default (one branch per call site).
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
         self.chaining = ChainingManager()
         self.pool = PacketPool(capacity=1 << 16)
         self.nic_tx = Nic(env, params, name="tx")
@@ -276,6 +309,7 @@ class NFPServer:
                 for replica in range(count):
                     label = name if count == 1 else f"{name}#{replica}"
                     nf = self._nf_factory(entry.node.kind, label)
+                    nf.telemetry = self.telemetry
                     if count == 1:
                         self.nfs[name] = nf
                     else:
@@ -304,6 +338,7 @@ class NFPServer:
             yield self.env.timeout(self.params.nic_io_us)
             if not self.ingress.try_put(pkt):
                 self.lost += 1
+                self.telemetry.inc("drops.ingress_full")
 
         self.env.process(rx())
 
@@ -342,6 +377,12 @@ class NFPServer:
         state = FlightState(pkt)
         self._flight[(ct_entry.mid, pid)] = state
 
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc("classifier.packets")
+            hub.span(SpanKind.CLASSIFY, self.env.now, pkt.meta,
+                     name="classifier", args={"ingress_us": pkt.ingress_us})
+
         extra = 0.0
         stage0 = graph.stages[0]
         # Stage-0 copies.
@@ -371,6 +412,13 @@ class NFPServer:
         except Exception:
             pass
         cost = self.params.copy_cost_us(len(new_pkt.buf))
+        hub = self.telemetry
+        if hub.enabled:
+            # OP#2 header-only vs OP#1 full copies (§4.2).
+            kind = "header" if copy_spec.header_only else "full"
+            hub.inc(f"copy.{kind}")
+            hub.span(SpanKind.COPY, self.env.now, new_pkt.meta, name=kind,
+                     duration_us=cost, args={"bytes": len(new_pkt.buf)})
         return new_pkt, cost
 
     # ------------------------------------------------------ completion hook
@@ -455,11 +503,16 @@ class NFPServer:
     def _post(self, ring: Ring, pkt: Packet, delay: Optional[float] = None) -> None:
         """Deliver a reference after the pipeline's batch latency."""
         wait = self.params.batch_wait_us if delay is None else delay
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc("ring.hops")
+            hub.span(SpanKind.ENQUEUE, self.env.now, pkt.meta, name=ring.name)
 
         def delayed():
             yield self.env.timeout(wait)
             if not ring.try_put(pkt):
                 self.lost += 1
+                hub.inc("drops.ring_full")
 
         self.env.process(delayed())
 
@@ -474,10 +527,17 @@ class NFPServer:
             yield self.env.timeout(self.params.nic_io_us)
             yield self.nic_tx.transmit(pkt.wire_len)
             pkt.stamp("nic-tx", self.env.now)
+            hub = self.telemetry
+            if hub.enabled:
+                hub.inc("tx.packets")
+                hub.span(SpanKind.OUTPUT, self.env.now, pkt.meta, name="nic-tx")
             if self.on_emit is not None:
                 self.on_emit(pkt)
                 return
-            self.latency.record(self.env.now - pkt.ingress_us)
+            latency_us = self.env.now - pkt.ingress_us
+            if hub.enabled:
+                hub.observe("latency_us", latency_us)
+            self.latency.record(latency_us)
             self.rate.record_delivery(self.env.now)
             if self.keep_packets:
                 self.emitted_packets.append(pkt)
@@ -486,5 +546,39 @@ class NFPServer:
 
     def record_drop(self, pkt: Optional[Packet]) -> None:
         self.nil_dropped += 1
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc("drops.nil")
+            if pkt is not None:
+                hub.span(SpanKind.DROP, self.env.now, pkt.meta, name="nil")
         if pkt is not None and pkt.meta is not None:
             self._flight.pop((pkt.meta.mid, pkt.meta.pid), None)
+
+    # ---------------------------------------------------------- telemetry
+    def collect_telemetry(self) -> None:
+        """Sample end-of-run state into gauges (rings, cores, engine, AT).
+
+        Counters and spans stream in live; occupancy watermarks and
+        utilisation only make sense once the run is over, so callers
+        (harness, CLI) invoke this after the environment drains.
+        """
+        hub = self.telemetry
+        if not hub.enabled:
+            return
+        hub.gauge("engine.events_processed", float(self.env.events_processed))
+        hub.gauge("engine.queue_hwm", float(self.env.queue_high_watermark))
+        rings = [self.ingress] + [m.rx for m in self.mergers]
+        cores = [self.classifier_core] + [m.core for m in self.mergers]
+        for group in self.runtimes.values():
+            for runtime in group.instances:
+                rings.append(runtime.rx)
+                cores.append(runtime.core)
+        for ring in rings:
+            hub.gauge(f"ring.{ring.name}.hwm", float(ring.high_watermark))
+            hub.gauge(f"ring.{ring.name}.depth", float(len(ring)))
+        for core in cores:
+            hub.gauge(f"core.{core.name}.utilisation", core.utilisation())
+        for merger in self.mergers:
+            hub.gauge(f"merger{merger.index}.at_hwm",
+                      float(merger.at_high_watermark))
+            hub.gauge(f"merger{merger.index}.at_depth", float(len(merger.at)))

@@ -1,11 +1,13 @@
 """Latency breakdown: where each microsecond of a graph's latency goes.
 
-Runs a workload with per-packet timeline instrumentation enabled and
-aggregates the checkpoints into named segments:
+Runs a workload with the :mod:`repro.telemetry` tracer enabled and
+aggregates each packet's span events into named segments:
 
 * ``ingest``       -- NIC arrival until classification;
 * ``stage k``      -- from the previous milestone until the *last* NF of
-  stage *k* finished with the packet (barrier semantics included);
+  stage *k* finished with the packet (barrier semantics included, copy
+  versions included -- the trace is keyed by (MID, PID), so branches of
+  the service graph fold back into one per-packet view);
 * ``merge``        -- final NF until the merger's rendezvous completed;
 * ``egress``       -- merge until the frame cleared the TX NIC.
 
@@ -23,6 +25,7 @@ from ..core.graph import ServiceGraph
 from ..core.policy import Policy
 from ..dataplane.server import NFPServer
 from ..sim import DEFAULT_PARAMS, Environment, SimParams
+from ..telemetry import PacketTrace, SpanKind, TelemetryHub, Tracer
 from ..traffic.generator import FIXED_64B, FlowGenerator, PacketSizeDistribution, TrafficSource
 from .harness import as_graph, deployed_from_graph
 from .model import nfp_capacity
@@ -61,23 +64,40 @@ class LatencyBreakdown:
         return f"LatencyBreakdown(total={self.total_us:.1f}us: {parts})"
 
 
-def _segment_packet(graph: ServiceGraph, timeline: List[tuple]) -> Dict[str, float]:
-    """Turn one packet's checkpoints into named segment durations."""
-    times = dict()
+def _segment_trace(
+    graph: ServiceGraph, trace: PacketTrace
+) -> Optional[Dict[str, float]]:
+    """Turn one packet's span events into named segment durations.
+
+    Returns ``None`` for packets that never cleared the TX NIC (still
+    in flight or dropped) -- the breakdown averages delivered packets.
+    """
+    classify_ts: Optional[float] = None
+    ingress_us: Optional[float] = None
+    merged_ts: Optional[float] = None
+    output_ts: Optional[float] = None
     nf_times: Dict[str, float] = {}
-    for label, when in timeline:
-        if label.startswith("nf:"):
+    for event in trace.events:
+        if event.kind is SpanKind.CLASSIFY:
+            classify_ts = event.ts_us
+            if event.args:
+                ingress_us = event.args.get("ingress_us")
+        elif event.kind is SpanKind.NF_END:
             # Scaled instances are named name#k; normalise.
-            name = label[3:].split("#", 1)[0]
-            nf_times[name] = max(nf_times.get(name, 0.0), when)
-        else:
-            times[label] = when
+            name = event.name.split("#", 1)[0]
+            nf_times[name] = max(nf_times.get(name, 0.0), event.ts_us)
+        elif event.kind is SpanKind.MERGE_APPLY:
+            merged_ts = event.ts_us
+        elif event.kind is SpanKind.OUTPUT:
+            output_ts = event.ts_us
+    if output_ts is None:
+        return None
 
     segments: Dict[str, float] = {}
-    cursor = times["nic-rx"]
-    if "classified" in times:
-        segments["ingest"] = times["classified"] - cursor
-        cursor = times["classified"]
+    cursor = ingress_us if ingress_us is not None else (classify_ts or 0.0)
+    if classify_ts is not None:
+        segments["ingest"] = classify_ts - cursor
+        cursor = classify_ts
     for index, stage in enumerate(graph.stages):
         finishes = [
             nf_times[e.node.name] for e in stage if e.node.name in nf_times
@@ -87,11 +107,10 @@ def _segment_packet(graph: ServiceGraph, timeline: List[tuple]) -> Dict[str, flo
         stage_end = max(finishes)
         segments[f"stage {index}"] = max(0.0, stage_end - cursor)
         cursor = max(cursor, stage_end)
-    if "merged" in times:
-        segments["merge"] = max(0.0, times["merged"] - cursor)
-        cursor = max(cursor, times["merged"])
-    if "nic-tx" in times:
-        segments["egress"] = max(0.0, times["nic-tx"] - cursor)
+    if merged_ts is not None:
+        segments["merge"] = max(0.0, merged_ts - cursor)
+        cursor = max(cursor, merged_ts)
+    segments["egress"] = max(0.0, output_ts - cursor)
     return segments
 
 
@@ -104,18 +123,18 @@ def latency_breakdown(
     num_mergers: int = 1,
     seed: int = 1,
 ) -> LatencyBreakdown:
-    """Measure a graph with timeline instrumentation and aggregate."""
+    """Measure a graph with span tracing enabled and aggregate."""
     graph = as_graph(target)
     size = int(sizes.mean())
     capacity = nfp_capacity(graph, params, num_mergers=num_mergers,
                             packet_size=size).mpps
     fraction = params.latency_load_fraction if load_fraction is None else load_fraction
 
-    env = Environment()
-    server = NFPServer(env, params, num_mergers=num_mergers)
+    env = Environment(track_stats=True)
+    tracer = Tracer()
+    server = NFPServer(env, params, num_mergers=num_mergers,
+                       telemetry=TelemetryHub(tracer=tracer))
     server.deploy(deployed_from_graph(graph))
-    server.record_timeline = True
-    server.keep_packets = True
     flows = FlowGenerator(num_flows=64, sizes=sizes, seed=seed)
     TrafficSource(env, server.inject, capacity * fraction, packets,
                   flows=flows, seed=seed)
@@ -123,14 +142,15 @@ def latency_breakdown(
 
     sums: Dict[str, float] = {}
     count = 0
-    for pkt in server.emitted_packets:
-        if not pkt.timeline:
+    for trace in tracer.traces().values():
+        segments = _segment_trace(graph, trace)
+        if segments is None:
             continue
         count += 1
-        for name, value in _segment_packet(graph, pkt.timeline).items():
+        for name, value in segments.items():
             sums[name] = sums.get(name, 0.0) + value
     if count == 0:
-        raise RuntimeError("no instrumented packets were delivered")
+        raise RuntimeError("no traced packets were delivered")
     segments = {name: total / count for name, total in sums.items()}
     return LatencyBreakdown(
         segments=segments,

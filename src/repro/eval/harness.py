@@ -27,6 +27,7 @@ from ..baselines.opennetvm import OpenNetVMServer
 from ..dataplane.server import NFPServer
 from ..nfs.base import create_nf
 from ..sim import DEFAULT_PARAMS, Environment, SimParams
+from ..telemetry.hooks import TelemetryHub
 from ..traffic.generator import FIXED_64B, FlowGenerator, PacketSizeDistribution, TrafficSource
 from .model import bess_capacity, nfp_capacity, onvm_capacity
 
@@ -90,6 +91,21 @@ def _drain(env: Environment) -> None:
     env.run()
 
 
+def _latency_fields(server) -> dict:
+    """Summary-stat fields shared by every measure_* entry point.
+
+    One call into :meth:`repro.sim.stats.LatencyStats.summary` -- the
+    single percentile/summary implementation -- instead of each harness
+    re-deriving mean/median/p99 on its own.
+    """
+    summary = server.latency.summary()
+    return {
+        "latency_mean_us": summary.mean,
+        "latency_p50_us": summary.p50,
+        "latency_p99_us": summary.p99,
+    }
+
+
 def measure_nfp(
     target: Union[ServiceGraph, Policy, Sequence[str]],
     params: SimParams = DEFAULT_PARAMS,
@@ -101,8 +117,15 @@ def measure_nfp(
     num_flows: int = 64,
     label: str = "",
     seed: int = 1,
+    telemetry: Optional[TelemetryHub] = None,
 ) -> MeasurementResult:
-    """Measure an NFP service graph end to end."""
+    """Measure an NFP service graph end to end.
+
+    Pass a :class:`repro.telemetry.TelemetryHub` as ``telemetry`` to
+    collect per-NF metrics (and span events, if the hub carries a
+    tracer) during the run; end-of-run gauges are sampled before
+    returning.
+    """
     graph = as_graph(target)
     size = int(sizes.mean())
     capacity = nfp_capacity(
@@ -112,25 +135,25 @@ def measure_nfp(
     fraction = params.latency_load_fraction if load_fraction is None else load_fraction
     rate = max(1e-6, capacity.mpps * fraction)
 
-    env = Environment()
+    env = Environment(track_stats=telemetry is not None and telemetry.enabled)
 
     def factory(kind: str, name: str):
         nf = create_nf(kind, name=name)
         nf.extra_cycles = extra_cycles
         return nf
 
-    server = NFPServer(env, params, num_mergers=num_mergers, nf_factory=factory)
+    server = NFPServer(env, params, num_mergers=num_mergers, nf_factory=factory,
+                       telemetry=telemetry)
     server.deploy(deployed_from_graph(graph))
     flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
     source = TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)
     _drain(env)
+    server.collect_telemetry()
 
     return MeasurementResult(
         system="NFP",
         label=label or graph.describe(),
-        latency_mean_us=server.latency.mean,
-        latency_p50_us=server.latency.median,
-        latency_p99_us=server.latency.p99,
+        **_latency_fields(server),
         throughput_mpps=capacity.mpps,
         bottleneck=capacity.bottleneck,
         offered_mpps=rate,
@@ -168,9 +191,7 @@ def measure_onvm(
     return MeasurementResult(
         system="OpenNetVM",
         label=label or "->".join(chain),
-        latency_mean_us=server.latency.mean,
-        latency_p50_us=server.latency.median,
-        latency_p99_us=server.latency.p99,
+        **_latency_fields(server),
         throughput_mpps=capacity.mpps,
         bottleneck=capacity.bottleneck,
         offered_mpps=rate,
@@ -212,9 +233,7 @@ def measure_bess(
     return MeasurementResult(
         system="BESS",
         label=label or "->".join(chain),
-        latency_mean_us=server.latency.mean,
-        latency_p50_us=server.latency.median,
-        latency_p99_us=server.latency.p99,
+        **_latency_fields(server),
         throughput_mpps=capacity.mpps,
         bottleneck=capacity.bottleneck,
         offered_mpps=rate,

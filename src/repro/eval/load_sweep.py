@@ -68,8 +68,9 @@ def load_sweep(
         total = server.rate.delivered + server.lost + server.nil_dropped
         loss = server.lost / total if total else 0.0
         if len(server.latency):
-            latency_mean = server.latency.mean
-            latency_p99 = server.latency.p99
+            summary = server.latency.summary()
+            latency_mean = summary.mean
+            latency_p99 = summary.p99
         else:  # pragma: no cover - everything lost
             latency_mean = latency_p99 = float("inf")
         span_rate = server.rate.mpps()

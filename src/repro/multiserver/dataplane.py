@@ -32,6 +32,8 @@ from ..dataplane.merging import apply_merge_ops
 from ..net.headers import ETH_HEADER_LEN
 from ..net.packet import HEADER_COPY_BYTES, Packet, PacketMeta
 from ..nfs.base import NetworkFunction
+from ..telemetry.hooks import NULL_HUB, TelemetryHub
+from ..telemetry.tracer import SpanKind
 from .nsh import NshTag, decapsulate, encapsulate
 
 __all__ = ["ServerStage", "MultiServerDataplane", "slice_merge_ops"]
@@ -137,11 +139,16 @@ class MultiServerDataplane:
         graph: ServiceGraph,
         cores_per_server: int,
         path_id: int = 1,
+        telemetry: Optional[TelemetryHub] = None,
     ):
         self.graph = graph
         self.path_id = path_id
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
         self.slices = partition_graph(graph, cores_per_server)
         self.servers = [ServerStage(graph, s) for s in self.slices]
+        for server in self.servers:
+            for nf in server.nfs.values():
+                nf.telemetry = self.telemetry
         self.links: List[LinkStats] = [LinkStats() for _ in self.servers[:-1]]
         self._next_pid = 0
         self.emitted = 0
@@ -190,6 +197,18 @@ class MultiServerDataplane:
                 link.bytes += carrier.wire_len
                 if nil:
                     link.nil_frames += 1
+                hub = self.telemetry
+                if hub.enabled:
+                    # Cross-server hop: exactly one (possibly nil) frame.
+                    hub.inc("multiserver.hops")
+                    hub.inc(f"multiserver.link{index}.frames")
+                    hub.inc(f"multiserver.link{index}.bytes", carrier.wire_len)
+                    if nil:
+                        hub.inc(f"multiserver.link{index}.nil_frames")
+                    # The functional pipeline has no clock; hop ordinal
+                    # stands in for time so spans still order causally.
+                    hub.span(SpanKind.ENQUEUE, float(index), pkt.meta,
+                             name=f"link{index}", args={"nil": nil})
                 # ... wire ...
                 received_tag = decapsulate(carrier)
                 assert received_tag.index == index + 1

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Type
 
 from ..net.packet import Packet
+from ..telemetry.hooks import NULL_HUB
 
 __all__ = [
     "ProcessingContext",
@@ -67,6 +68,8 @@ class NetworkFunction:
         self.errors = 0
         #: Extra per-packet busy-loop cycles (the Fig. 9 complexity knob).
         self.extra_cycles = 0
+        #: Telemetry hub; the disabled NULL_HUB unless a server wires one in.
+        self.telemetry = NULL_HUB
 
     # ------------------------------------------------------------ NF logic
     def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
@@ -83,15 +86,24 @@ class NetworkFunction:
         """
         ctx = ProcessingContext()
         self.rx_packets += 1
+        had_error = False
         try:
             self.process(pkt, ctx)
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
             self.errors += 1
+            had_error = True
             ctx.drop(f"nf-error: {exc}")
         if ctx.dropped:
             self.dropped_packets += 1
         else:
             pkt.trace.append(self.name)
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc(f"nf.{self.name}.rx")
+            if ctx.dropped:
+                hub.inc(f"nf.{self.name}.dropped")
+            if had_error:
+                hub.inc(f"nf.{self.name}.errors")
         return ctx
 
     def reset_stats(self) -> None:

@@ -17,7 +17,7 @@ from .cpu import Core
 from .memory import PacketPool, PoolExhaustedError
 from .nic import Nic
 from .params import DEFAULT_PARAMS, VM_PARAMS, SimParams, nic_line_rate_mpps
-from .stats import LatencyStats, RateMeter, percentile
+from .stats import LatencyStats, LatencySummary, RateMeter, percentile, summarize
 
 __all__ = [
     "Environment",
@@ -37,6 +37,8 @@ __all__ = [
     "VM_PARAMS",
     "nic_line_rate_mpps",
     "LatencyStats",
+    "LatencySummary",
     "RateMeter",
     "percentile",
+    "summarize",
 ]

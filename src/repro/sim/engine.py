@@ -221,15 +221,28 @@ class Process(Event):
 class Environment:
     """The simulation clock and event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, track_stats: bool = False):
         self._now = float(initial_time)
         self._queue: List = []
         self._eid = itertools.count()
+        self.queue_high_watermark = 0
+        if track_stats:
+            # Shadow the class method with the tracking variant on this
+            # instance only, so the default event loop pays nothing.
+            self._schedule = self._schedule_tracked  # type: ignore[method-assign]
 
     @property
     def now(self) -> float:
         """Current simulation time in microseconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Events popped so far, derived from the id counter so the hot
+        loop carries no bookkeeping: every draw of ``_eid`` is one push,
+        and whatever is still queued has not been processed yet."""
+        scheduled = self._eid.__reduce__()[1][0]
+        return scheduled - len(self._queue)
 
     # -- factory helpers ----------------------------------------------------
     def event(self) -> Event:
@@ -297,6 +310,15 @@ class Environment:
             return
         event._scheduled = True
         heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def _schedule_tracked(self, event: Event, delay: float = 0.0) -> None:
+        """`_schedule` plus queue-depth watermark (``track_stats=True``)."""
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        if len(self._queue) > self.queue_high_watermark:
+            self.queue_high_watermark = len(self._queue)
 
     def step(self) -> None:
         """Process the single next event in the queue."""

@@ -1,0 +1,60 @@
+"""Telemetry: per-NF metrics, packet-lifecycle tracing, exporters.
+
+The observability layer the evaluation leans on (§6): a
+:class:`MetricsRegistry` of counters / gauges / fixed-bucket histograms,
+a :class:`Tracer` recording typed span events keyed by the 64-bit
+metadata word, and exporters (JSON-lines, Chrome ``trace_event``, ASCII
+per-NF tables).  Instrumented layers -- the DES engine, the NFP server,
+the mergers, the NFs and the multi-server pipeline -- all talk to a
+single :class:`TelemetryHub`; the default :data:`NULL_HUB` is disabled
+and costs one branch per call site.
+
+Quickstart::
+
+    from repro.telemetry import TelemetryHub, Tracer
+
+    hub = TelemetryHub(tracer=Tracer())
+    result = measure_nfp(["firewall", "ids", "monitor"], telemetry=hub)
+    traces = hub.tracer.traces()          # (mid, pid) -> PacketTrace
+    print(nf_summary_table(hub.registry))
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BOUNDS_US,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+)
+from .tracer import PacketTrace, SpanEvent, SpanKind, Tracer
+from .hooks import NULL_HUB, TelemetryHub
+from .export import (
+    events_from_chrome_trace,
+    events_from_jsonl,
+    events_to_jsonl,
+    nf_summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS_US",
+    "exponential_bounds",
+    "SpanKind",
+    "SpanEvent",
+    "PacketTrace",
+    "Tracer",
+    "TelemetryHub",
+    "NULL_HUB",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "to_chrome_trace",
+    "events_from_chrome_trace",
+    "write_chrome_trace",
+    "nf_summary_table",
+]

@@ -1,0 +1,22 @@
+"""Histogram + summary-stat façade for the telemetry package.
+
+Percentile and summary logic for raw sample lists has exactly one
+implementation in the repository: :mod:`repro.sim.stats`.  This module
+re-exports it next to the fixed-bucket :class:`Histogram` so telemetry
+consumers import everything from one place without duplicating the
+math (`eval` and `sim` call the same functions).
+"""
+
+from __future__ import annotations
+
+from ..sim.stats import LatencySummary, percentile, summarize
+from .metrics import DEFAULT_LATENCY_BOUNDS_US, Histogram, exponential_bounds
+
+__all__ = [
+    "Histogram",
+    "DEFAULT_LATENCY_BOUNDS_US",
+    "exponential_bounds",
+    "percentile",
+    "summarize",
+    "LatencySummary",
+]

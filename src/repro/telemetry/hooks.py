@@ -1,0 +1,105 @@
+"""The single interface instrumented layers talk to: :class:`TelemetryHub`.
+
+The dataplane, the DES substrate, the NFs and the multi-server pipeline
+never touch :class:`~repro.telemetry.metrics.MetricsRegistry` or
+:class:`~repro.telemetry.tracer.Tracer` directly; they hold a hub and
+call its narrow API.  A disabled hub (the module-level :data:`NULL_HUB`,
+the default everywhere) turns every call into a single attribute check,
+so instrumentation costs nothing when telemetry is off.
+
+Hot-path convention::
+
+    hub = self.telemetry
+    if hub.enabled:                    # one attribute load + branch
+        hub.span(SpanKind.NF_END, now, pkt.meta, name=self.nf.name)
+
+The outer ``enabled`` guard also skips building the call arguments,
+which is where the real cost would be.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .metrics import DEFAULT_LATENCY_BOUNDS_US, MetricsRegistry
+from .tracer import SpanKind, Tracer
+
+__all__ = ["TelemetryHub", "NULL_HUB"]
+
+
+class TelemetryHub:
+    """Bundles a metrics registry and an optional tracer behind one flag."""
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+
+    # ------------------------------------------------------------ metrics
+    def inc(self, name: str, n: int = 1) -> None:
+        """Bump a counter (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.registry.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.registry.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_US,
+    ) -> None:
+        """Record a sample into a histogram (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.registry.histogram(name, bounds).record(value)
+
+    # ------------------------------------------------------------ tracing
+    def span(
+        self,
+        kind: SpanKind,
+        ts_us: float,
+        meta,
+        name: str = "",
+        duration_us: float = 0.0,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record a span event keyed by a ``PacketMeta`` (or skip if None)."""
+        if not self.enabled or self.tracer is None or meta is None:
+            return
+        self.tracer.record(
+            kind,
+            ts_us,
+            mid=meta.mid,
+            pid=meta.pid,
+            version=meta.version,
+            name=name,
+            duration_us=duration_us,
+            args=args,
+        )
+
+    @property
+    def tracing(self) -> bool:
+        """True when span events will actually be stored."""
+        return self.enabled and self.tracer is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<TelemetryHub {state} tracer={'yes' if self.tracer else 'no'}>"
+
+
+#: The shared disabled hub: every instrumented layer defaults to this,
+#: making telemetry opt-in per server/run.
+NULL_HUB = TelemetryHub(enabled=False)
