@@ -1,0 +1,38 @@
+"""repro.check: differential fuzzing of sequential vs parallel execution.
+
+The correctness backstop for the whole repo (§4.1's result correctness
+principle, §6.4's replay experiment, generalised): random valid policies
+x perturbed action profiles x adversarial traffic, executed through the
+sequential reference, the functional parallel dataplane, and the timed
+DES dataplane, with automatic delta-debugging shrinking of any
+divergence down to a committable repro.
+
+Entry points: ``python -m repro fuzz`` (CLI), :func:`run_fuzz` /
+:func:`replay_corpus` (sessions), :func:`run_case` (one case),
+:class:`CaseGenerator` (case streams), :func:`shrink_case` /
+:func:`write_repro` (minimization).
+"""
+
+from .cases import FuzzCase, PacketSpec, ProfileTweak
+from .differential import CaseOutcome, reference_order, run_case
+from .fuzz import FuzzFailure, FuzzReport, replay_corpus, run_fuzz
+from .generator import NF_POOL, CaseGenerator
+from .shrinker import ShrinkResult, shrink_case, write_repro
+
+__all__ = [
+    "CaseGenerator",
+    "CaseOutcome",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "NF_POOL",
+    "PacketSpec",
+    "ProfileTweak",
+    "ShrinkResult",
+    "reference_order",
+    "replay_corpus",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "write_repro",
+]

@@ -1,0 +1,137 @@
+"""Fuzzing sessions: budgets, corpus replay, telemetry, artifacts.
+
+:func:`run_fuzz` drives the generator -> differential executor ->
+shrinker pipeline under a case and/or wall-clock budget, counting
+progress into a :class:`~repro.telemetry.hooks.TelemetryHub` (counters
+``fuzz.cases``, ``fuzz.packets``, ``fuzz.failures``,
+``fuzz.shrink_steps``) so fuzz throughput is observable like any other
+dataplane metric.  Failures are shrunk automatically and written to an
+artifact directory as a JSON seed + pytest repro.
+
+:func:`replay_corpus` deterministically re-runs the committed seed
+corpus (``tests/corpus/*.json``); the tier-1 suite calls it so every
+checked-in repro stays green.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..telemetry.hooks import NULL_HUB, TelemetryHub
+from .cases import FuzzCase, ProfileTweak
+from .differential import CaseOutcome, run_case
+from .generator import CaseGenerator
+from .shrinker import ShrinkResult, shrink_case, write_repro
+
+__all__ = ["FuzzFailure", "FuzzReport", "run_fuzz", "replay_corpus"]
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, before and after shrinking."""
+
+    index: int
+    outcome: CaseOutcome
+    shrunk: Optional[ShrinkResult] = None
+    json_path: str = ""
+    test_path: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Summary of a fuzzing session."""
+
+    cases: int = 0
+    packets: int = 0
+    duration_s: float = 0.0
+    seed: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def cases_per_s(self) -> float:
+        return self.cases / self.duration_s if self.duration_s > 0 else 0.0
+
+
+def run_fuzz(
+    cases: int = 500,
+    seed: int = 0,
+    max_seconds: Optional[float] = None,
+    include_des: bool = True,
+    packets_per_case: int = 16,
+    max_nfs: int = 5,
+    inject: Sequence[str] = (),
+    telemetry: TelemetryHub = NULL_HUB,
+    out_dir: Optional[str] = None,
+    stop_after: int = 3,
+    shrink: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run a seeded fuzzing session under a case/time budget."""
+    tweaks = [ProfileTweak.parse(spec) for spec in inject]
+    generator = CaseGenerator(
+        seed=seed, max_nfs=max_nfs, packets_per_case=packets_per_case,
+        tweaks=tweaks,
+    )
+    report = FuzzReport(seed=seed)
+    started = time.monotonic()
+
+    for index in range(cases):
+        if max_seconds is not None and time.monotonic() - started >= max_seconds:
+            if log:
+                log(f"time budget of {max_seconds:.0f}s reached "
+                    f"after {report.cases} cases")
+            break
+        case = generator.generate(index)
+        outcome = run_case(case, include_des=include_des, telemetry=telemetry)
+        telemetry.inc("fuzz.cases")
+        report.cases += 1
+        report.packets += outcome.packets
+        if outcome.ok:
+            continue
+
+        failure = FuzzFailure(index=index, outcome=outcome)
+        if log:
+            log(f"case {index}: {outcome.kind} -- {outcome.detail}")
+        if shrink:
+            failure.shrunk = shrink_case(
+                case, include_des=include_des, telemetry=telemetry)
+            if log:
+                log(f"case {index}: {failure.shrunk.summary()}")
+            if out_dir:
+                failure.json_path, failure.test_path = write_repro(
+                    failure.shrunk, out_dir, include_des=include_des)
+                if log:
+                    log(f"case {index}: repro written to {failure.json_path} "
+                        f"and {failure.test_path}")
+        report.failures.append(failure)
+        if len(report.failures) >= stop_after:
+            if log:
+                log(f"stopping after {stop_after} failures")
+            break
+
+    report.duration_s = time.monotonic() - started
+    telemetry.gauge("fuzz.cases_per_s", report.cases_per_s)
+    return report
+
+
+def replay_corpus(
+    corpus_dir: str,
+    include_des: bool = True,
+    telemetry: TelemetryHub = NULL_HUB,
+) -> List[Tuple[str, CaseOutcome]]:
+    """Re-run every ``*.json`` seed in ``corpus_dir`` (sorted, stable)."""
+    results: List[Tuple[str, CaseOutcome]] = []
+    for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
+        case = FuzzCase.load(path)
+        outcome = run_case(case, include_des=include_des, telemetry=telemetry)
+        telemetry.inc("fuzz.cases")
+        results.append((path, outcome))
+    return results

@@ -16,6 +16,11 @@ trace
     per-NF summary table.
 pairs
     Print the §4.3 parallelizability matrix and summary statistics.
+fuzz
+    Differential fuzzing: random valid policies + adversarial traffic
+    through the sequential reference, the functional parallel dataplane,
+    and the timed DES dataplane; failures are delta-debug-shrunk to a
+    committable JSON seed + pytest repro.
 sweep
     Plot a Fig. 9-style busy-cycle sweep or a Fig. 11-style degree
     sweep as a terminal chart.
@@ -156,6 +161,64 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing of sequential vs parallel execution."""
+    from .check import replay_corpus, run_fuzz
+    from .telemetry import TelemetryHub
+
+    hub = TelemetryHub()
+    include_des = not args.no_des
+
+    if args.replay:
+        results = replay_corpus(args.replay, include_des=include_des,
+                                telemetry=hub)
+        failures = 0
+        for path, outcome in results:
+            status = "ok" if outcome.ok else f"FAIL {outcome.kind}"
+            print(f"{status:<20s} {path}")
+            if not outcome.ok:
+                failures += 1
+                print(f"    {outcome.detail}")
+        print(f"\nreplayed {len(results)} corpus cases, {failures} failing")
+        return 1 if failures else 0
+
+    report = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        max_seconds=args.max_seconds,
+        include_des=include_des,
+        packets_per_case=args.packets,
+        max_nfs=args.max_nfs,
+        inject=args.inject_bug or (),
+        telemetry=hub,
+        out_dir=args.out_dir,
+        stop_after=args.stop_after,
+        shrink=not args.no_shrink,
+        log=lambda line: print(f"  {line}"),
+    )
+
+    counters = hub.registry
+    print(f"\nseed        : {report.seed}")
+    print(f"cases       : {report.cases} "
+          f"({report.cases_per_s:.1f}/s over {report.duration_s:.1f}s)")
+    print(f"packets     : {report.packets}")
+    print(f"shrink runs : {counters.counter_value('fuzz.shrink_steps')}")
+    if report.ok:
+        print("result      : all cases agree across the three planes")
+        return 0
+    print(f"result      : {len(report.failures)} failing case(s)")
+    for failure in report.failures:
+        print(f"  case {failure.index}: {failure.outcome.kind} "
+              f"-- {failure.outcome.detail}")
+        if failure.shrunk is not None:
+            chain = [kind for _, kind in failure.shrunk.case.instances]
+            print(f"    minimized to {len(chain)} NF(s) {chain}, "
+                  f"{failure.shrunk.packets} packet(s)")
+        if failure.test_path:
+            print(f"    repro: {failure.json_path}  {failure.test_path}")
+    return 1
+
+
 def cmd_pairs(args) -> int:
     stats = compute_pair_statistics()
     names = sorted({a for a, _ in stats.per_pair})
@@ -284,6 +347,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pairs = sub.add_parser("pairs", help="§4.3 parallelizability matrix")
     p_pairs.set_defaults(func=cmd_pairs)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing (sequential vs parallel)")
+    p_fuzz.add_argument("--cases", type=int, default=500,
+                        help="case budget (default 500)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    p_fuzz.add_argument("--max-seconds", type=float, default=None,
+                        help="wall-clock budget; stops early when exceeded")
+    p_fuzz.add_argument("--packets", type=int, default=16,
+                        help="packets per case (default 16)")
+    p_fuzz.add_argument("--max-nfs", type=int, default=5,
+                        help="max NF instances per policy (default 5)")
+    p_fuzz.add_argument("--no-des", action="store_true",
+                        help="skip the timed DES plane (faster)")
+    p_fuzz.add_argument("--inject-bug", action="append", metavar="SPEC",
+                        help="perturb a profile, e.g. "
+                             "hidden-write:loadbalancer:DIP, "
+                             "read-only:firewall, no-drop:ips (repeatable)")
+    p_fuzz.add_argument("--replay", metavar="DIR",
+                        help="replay a corpus directory instead of fuzzing")
+    p_fuzz.add_argument("--out-dir", default="fuzz-artifacts",
+                        help="where shrunk repros are written")
+    p_fuzz.add_argument("--stop-after", type=int, default=3,
+                        help="stop after this many failures (default 3)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_replay = sub.add_parser("replay", help="replay a pcap through a graph")
     p_replay.add_argument("--policy", help="policy DSL file")

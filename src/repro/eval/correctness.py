@@ -30,14 +30,26 @@ __all__ = ["ReplayReport", "replay_chain"]
 
 @dataclass
 class ReplayReport:
-    """Outcome of one replay comparison."""
+    """Outcome of one replay comparison.
+
+    Drops are recorded per packet index, per plane.  ``drop_agreements``
+    is derived from the intersection of the two index sets, so two
+    planes dropping the *same number* of *different* packets can never
+    be reported as agreement -- any one-sided drop lands in
+    ``mismatches`` instead.
+    """
 
     chain: Tuple[str, ...]
     graph: str
     packets: int
     matches: int
-    drop_agreements: int
+    drops_parallel: List[int] = field(default_factory=list)  # pkt indices
+    drops_sequential: List[int] = field(default_factory=list)
     mismatches: List[int] = field(default_factory=list)  # offending pkt indices
+
+    @property
+    def drop_agreements(self) -> int:
+        return len(set(self.drops_parallel) & set(self.drops_sequential))
 
     @property
     def ok(self) -> bool:
@@ -88,7 +100,8 @@ def replay_chain(
     gen_b = _tagged_flow_generator(sizes, seed)
 
     matches = 0
-    drop_agreements = 0
+    drops_parallel: List[int] = []
+    drops_sequential: List[int] = []
     mismatches: List[int] = []
     for index in range(packets):
         pkt_par = gen_a.next_packet()
@@ -97,9 +110,13 @@ def replay_chain(
 
         out_par = parallel.process(pkt_par)
         out_seq = sequential.process(pkt_seq)
+        if out_par is None:
+            drops_parallel.append(index)
+        if out_seq is None:
+            drops_sequential.append(index)
         if out_par is None and out_seq is None:
-            drop_agreements += 1
-        elif (
+            continue  # agreed drop, derived from the index lists
+        if (
             out_par is not None
             and out_seq is not None
             and bytes(out_par.buf) == bytes(out_seq.buf)
@@ -113,6 +130,7 @@ def replay_chain(
         graph=graph.describe(),
         packets=packets,
         matches=matches,
-        drop_agreements=drop_agreements,
+        drops_parallel=drops_parallel,
+        drops_sequential=drops_sequential,
         mismatches=mismatches,
     )

@@ -42,8 +42,19 @@ class Caching(NetworkFunction):
         self.misses = 0
 
     def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        # Portless protocols (e.g. ICMP) carry no dport; reaching for
+        # pkt.tcp unconditionally would raise and turn this read-only
+        # NF into an undeclared dropper, which breaks the parallelism
+        # analysis built on its Table 2 profile.  Key on port 0 instead.
         ip = pkt.ipv4
-        key = (ip.dst_ip, pkt.udp.dst_port if pkt.l4_protocol == 17 else pkt.tcp.dst_port)
+        proto = pkt.l4_protocol
+        if proto == 6:
+            dport = pkt.tcp.dst_port
+        elif proto == 17:
+            dport = pkt.udp.dst_port
+        else:
+            dport = 0
+        key = (ip.dst_ip, dport)
         digest = hashlib.blake2s(
             repr((key, pkt.payload[:16], self._seed)).encode(), digest_size=4
         ).digest()

@@ -1,0 +1,149 @@
+"""Integration tests for the differential fuzzing harness (``repro.check``).
+
+Covers the three-plane executor, the policy-faithful reference
+linearization, the end-to-end fuzz session (green on sound cases), and
+the acceptance property from the issue: an injected action-profile lie
+is caught and auto-shrunk to a <=2-NF repro.
+"""
+
+import os
+
+import pytest
+
+from repro.check import (
+    CaseGenerator,
+    FuzzCase,
+    PacketSpec,
+    ProfileTweak,
+    reference_order,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+from repro.core.action_table import default_action_table
+from repro.core.policy import NFSpec, Policy
+from repro.telemetry import TelemetryHub
+
+
+# ------------------------------------------------------ reference order
+def test_reference_order_is_declaration_order_for_chains():
+    policy = Policy.from_chain(["firewall", "monitor", "loadbalancer"])
+    order = reference_order(policy, default_action_table())
+    assert order == ["firewall", "monitor", "loadbalancer"]
+
+
+def test_reference_order_respects_position_pins():
+    policy = Policy(name="pins")
+    for kind in ("monitor", "firewall", "gateway"):
+        policy.declare(NFSpec(kind))
+    policy.position("gateway", "first")
+    order = reference_order(policy, default_action_table())
+    assert order[0] == "gateway"
+
+
+def test_reference_order_priority_beats_declaration():
+    # firewall declared after ips, but Priority(firewall > ips) must put
+    # the high-priority NF later so its effects win sequentially.
+    policy = Policy(name="prio")
+    policy.declare(NFSpec("ips"))
+    policy.declare(NFSpec("firewall"))
+    policy.priority("firewall", "ips")
+    order = reference_order(policy, default_action_table())
+    assert order.index("ips") < order.index("firewall")
+
+
+# ------------------------------------------------------------ run_case
+def _simple_case(packets=None):
+    return FuzzCase(
+        case_id="itest",
+        instances=[("firewall", "firewall"), ("monitor", "monitor")],
+        rules=[("order", "firewall", "monitor")],
+        packets=packets or [PacketSpec(ident=i + 1) for i in range(4)],
+    )
+
+
+def test_run_case_green_on_sound_case():
+    outcome = run_case(_simple_case(), include_des=True)
+    assert outcome.ok, f"{outcome.kind}: {outcome.detail}"
+    assert outcome.packets == 4
+    assert outcome.kind == "ok"
+
+
+def test_run_case_counts_telemetry():
+    hub = TelemetryHub()
+    run_case(_simple_case(), include_des=False, telemetry=hub)
+    assert hub.registry.counter_value("fuzz.packets") == 4
+
+
+def test_run_case_detects_hidden_write():
+    # With the DIP write hidden, gateway-then-loadbalancer parallelises
+    # with the loadbalancer on copy v2; the merge only carries the
+    # declared SIP write back, losing the undeclared DIP rewrite the
+    # sequential plane applies -- a byte divergence the oracle must see.
+    case = FuzzCase(
+        case_id="inj",
+        instances=[("gateway", "gateway"), ("loadbalancer", "loadbalancer")],
+        rules=[("order", "gateway", "loadbalancer")],
+        packets=[PacketSpec(ident=1)],
+        tweaks=[ProfileTweak.parse("hidden-write:loadbalancer:DIP")],
+    )
+    outcome = run_case(case, include_des=False)
+    assert not outcome.ok
+    assert outcome.kind == "byte-mismatch"
+    assert "loadbalancer[v2]" in outcome.graph_desc
+
+
+def test_generator_cases_are_deterministic():
+    a = CaseGenerator(seed=5).generate(3)
+    b = CaseGenerator(seed=5).generate(3)
+    assert a.to_json() == b.to_json()
+    c = CaseGenerator(seed=6).generate(3)
+    assert a.to_json() != c.to_json()
+
+
+# ------------------------------------------------------------- sessions
+def test_fuzz_smoke_is_green():
+    hub = TelemetryHub()
+    report = run_fuzz(cases=20, seed=0, include_des=False, telemetry=hub)
+    assert report.ok, [f.outcome.detail for f in report.failures]
+    assert report.cases == 20
+    assert hub.registry.counter_value("fuzz.cases") == 20
+    assert report.packets > 0
+
+
+def test_fuzz_time_budget_stops_early():
+    report = run_fuzz(cases=10_000, seed=1, include_des=False, max_seconds=2.0)
+    assert report.cases < 10_000
+    assert report.duration_s < 30
+
+
+# --------------------------------------------- acceptance: catch + shrink
+def test_injected_profile_bug_is_caught_and_shrunk(tmp_path):
+    report = run_fuzz(
+        cases=50,
+        seed=0,
+        include_des=False,
+        inject=["hidden-write:loadbalancer:DIP"],
+        out_dir=str(tmp_path),
+        stop_after=1,
+    )
+    assert not report.ok, "injected profile lie was not caught within 50 cases"
+    failure = report.failures[0]
+    shrunk = failure.shrunk.case
+    assert len(shrunk.instances) <= 2
+    assert "loadbalancer" in {kind for _, kind in shrunk.instances}
+    assert len(shrunk.packets) <= 2
+
+    # The emitted repro must round-trip and still fail.
+    assert os.path.exists(failure.json_path)
+    assert os.path.exists(failure.test_path)
+    reloaded = FuzzCase.load(failure.json_path)
+    assert not run_case(reloaded, include_des=False).ok
+    source = open(failure.test_path).read()
+    compile(source, failure.test_path, "exec")  # committable python
+    assert "run_case" in source
+
+
+def test_shrinker_rejects_green_case():
+    with pytest.raises(ValueError, match="failing case"):
+        shrink_case(_simple_case(), include_des=False)

@@ -99,3 +99,27 @@ def test_replay_detects_drop_agreement():
     # An IPS chain drops signature traffic identically in both worlds.
     report = replay_chain(("ips", "monitor"), packets=150)
     assert report.ok
+    assert report.drops_parallel == report.drops_sequential
+    assert report.matches + report.drop_agreements == report.packets
+
+
+def test_drop_agreement_is_per_index_not_per_count():
+    # Equal drop *counts* on different packets must not read as
+    # agreement: agreement is the per-index intersection.
+    from repro.eval import ReplayReport
+
+    report = ReplayReport(
+        chain=("a", "b"), graph="a -> b", packets=4, matches=0,
+        drops_parallel=[0, 1], drops_sequential=[2, 3],
+        mismatches=[0, 1, 2, 3],
+    )
+    assert report.drop_agreements == 0
+    assert not report.ok
+
+    agreeing = ReplayReport(
+        chain=("a",), graph="a", packets=3, matches=1,
+        drops_parallel=[0, 2], drops_sequential=[0, 2],
+    )
+    assert agreeing.drop_agreements == 2
+    assert agreeing.ok
+    assert agreeing.matches + agreeing.drop_agreements == agreeing.packets

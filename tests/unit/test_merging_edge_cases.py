@@ -1,0 +1,165 @@
+"""Edge cases of the §5.3 MO merge process (``dataplane/merging.py``).
+
+The headline paths (one writer per field, single AH splice) are covered
+by the functional-dataplane tests; these pin down the corners the
+differential fuzzer leans on: add-then-remove of the same header unit,
+nil branches, replace-in-place splices, and the error surface for
+malformed merge sets.
+"""
+
+import pytest
+
+from repro.core.graph import MergeOp, MergeOpKind
+from repro.dataplane.merging import MergeError, apply_merge_ops
+from repro.net import Field, build_packet, insert_ah
+from repro.net.packet import PacketMeta
+from repro.telemetry.hooks import TelemetryHub
+
+KEY = b"k" * 16
+
+
+def _base(size=128):
+    pkt = build_packet(size=size)
+    pkt.meta = PacketMeta(mid=3, pid=9, version=1)
+    return pkt
+
+
+def test_add_then_remove_same_header_unit_roundtrips():
+    # One branch adds the AH, a later op removes it: the output must be
+    # byte-identical to the input, with length/protocol/checksum restored.
+    base = _base()
+    before = bytes(base.buf)
+    wire_len = base.wire_len
+    v2 = base.full_copy(2)
+    insert_ah(v2, spi=7, seq=1, icv_key=KEY)
+
+    merged = apply_merge_ops(
+        {1: base, 2: v2},
+        [
+            MergeOp(MergeOpKind.ADD, Field.AH_HEADER, 2),
+            MergeOp(MergeOpKind.REMOVE, Field.AH_HEADER),
+        ],
+    )
+    assert merged is base
+    assert not merged.has_ah
+    assert bytes(merged.buf) == before
+    assert merged.wire_len == wire_len
+
+
+def test_remove_then_add_same_header_unit_keeps_new_ah():
+    # The symmetric order: strip the existing AH, then splice a fresh
+    # one from a branch.  The branch's AH must win.
+    base = _base()
+    insert_ah(base, spi=1, seq=1, icv_key=KEY)
+    v2 = base.full_copy(2)
+    ah = v2.ah
+    ah.seq = 99
+
+    merged = apply_merge_ops(
+        {1: base, 2: v2},
+        [
+            MergeOp(MergeOpKind.REMOVE, Field.AH_HEADER),
+            MergeOp(MergeOpKind.ADD, Field.AH_HEADER, 2),
+        ],
+    )
+    assert merged.has_ah
+    assert merged.ah.seq == 99
+
+
+def test_add_onto_existing_ah_replaces_in_place():
+    # A second VPN hop refreshes the AH on its copy; the splice must
+    # overwrite the existing unit, not stack another header.
+    base = _base()
+    insert_ah(base, spi=1, seq=5, icv_key=KEY)
+    length_before = len(base.buf)
+    v2 = base.full_copy(2)
+    ah = v2.ah
+    ah.seq = 42
+
+    merged = apply_merge_ops(
+        {1: base, 2: v2}, [MergeOp(MergeOpKind.ADD, Field.AH_HEADER, 2)]
+    )
+    assert len(merged.buf) == length_before
+    assert merged.ah.seq == 42
+
+
+def test_nil_branch_makes_merge_yield_none():
+    base = _base()
+    v2 = base.full_copy(2).make_nil()
+    assert apply_merge_ops({1: base, 2: v2}, []) is None
+
+
+def test_nil_version_one_makes_merge_yield_none():
+    base = _base()
+    v2 = base.full_copy(2)
+    assert apply_merge_ops({1: base.make_nil(), 2: v2}, []) is None
+
+
+def test_nil_wins_even_when_ops_reference_live_versions():
+    # A drop on any branch must suppress the whole output, regardless
+    # of pending modifications carried by other branches.
+    base = _base()
+    v2 = base.full_copy(2)
+    v2.ipv4.ttl = 3
+    v3 = base.full_copy(3).make_nil()
+    ops = [MergeOp(MergeOpKind.MODIFY, Field.TTL, 2)]
+    assert apply_merge_ops({1: base, 2: v2, 3: v3}, ops) is None
+
+
+def test_merge_requires_version_one():
+    base = _base()
+    with pytest.raises(MergeError, match="version 1 missing"):
+        apply_merge_ops({2: base.full_copy(2)}, [])
+
+
+def test_modify_from_uncollected_version_raises():
+    base = _base()
+    ops = [MergeOp(MergeOpKind.MODIFY, Field.TTL, 4)]
+    with pytest.raises(MergeError, match="version 4"):
+        apply_merge_ops({1: base}, ops)
+
+
+def test_remove_without_ah_raises():
+    base = _base()
+    with pytest.raises(MergeError, match="no AH to remove"):
+        apply_merge_ops({1: base}, [MergeOp(MergeOpKind.REMOVE, Field.AH_HEADER)])
+
+
+def test_add_from_version_without_ah_raises():
+    base = _base()
+    v2 = base.full_copy(2)
+    with pytest.raises(MergeError, match="no AH to splice"):
+        apply_merge_ops(
+            {1: base, 2: v2}, [MergeOp(MergeOpKind.ADD, Field.AH_HEADER, 2)]
+        )
+
+
+def test_modify_ip_field_refreshes_checksum():
+    base = _base()
+    v2 = base.full_copy(2)
+    v2.ipv4.ttl = 9
+    merged = apply_merge_ops(
+        {1: base, 2: v2}, [MergeOp(MergeOpKind.MODIFY, Field.TTL, 2)]
+    )
+    assert merged.ipv4.ttl == 9
+    assert merged.ipv4.verify_checksum()
+
+
+def test_merge_ops_are_counted_per_kind():
+    hub = TelemetryHub()
+    base = _base()
+    v2 = base.full_copy(2)
+    v2.ipv4.ttl = 2
+    insert_ah(v2, spi=1, seq=1, icv_key=KEY)
+    apply_merge_ops(
+        {1: base, 2: v2},
+        [
+            MergeOp(MergeOpKind.MODIFY, Field.TTL, 2),
+            MergeOp(MergeOpKind.ADD, Field.AH_HEADER, 2),
+            MergeOp(MergeOpKind.REMOVE, Field.AH_HEADER),
+        ],
+        telemetry=hub,
+    )
+    assert hub.registry.counter_value("merge.ops.modify") == 1
+    assert hub.registry.counter_value("merge.ops.add") == 1
+    assert hub.registry.counter_value("merge.ops.remove") == 1

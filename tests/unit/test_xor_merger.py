@@ -84,3 +84,93 @@ def test_xor_merge_requires_versions():
     pkt = build_packet(size=96)
     with pytest.raises(XorMergeError):
         merger.merge(merger.retain(pkt), {})
+
+
+def test_xor_merge_with_more_than_two_branches():
+    # Four-way parallelism: each branch writes a disjoint field; the
+    # XOR fold must land every write in the output.
+    merger = XorMerger()
+    pkt = build_packet(size=256)
+    original = merger.retain(pkt)
+
+    v1 = original.full_copy(1)
+    v1.ipv4.ttl = 11
+    v2 = original.full_copy(2)
+    v2.ipv4.dst_ip = "4.4.4.4"
+    v3 = original.full_copy(3)
+    v3.ipv4.src_ip = "5.5.5.5"
+    v4 = original.full_copy(4)
+    v4.tcp.dst_port = 8080
+
+    merged = merger.merge(original, {1: v1, 2: v2, 3: v3, 4: v4})
+    assert merged.ipv4.ttl == 11
+    assert merged.ipv4.dst_ip == "4.4.4.4"
+    assert merged.ipv4.src_ip == "5.5.5.5"
+    assert merged.tcp.dst_port == 8080
+
+
+def test_xor_merge_accepts_header_only_copies():
+    # OP#2 header copies are shorter than the original, but that is a
+    # deliberate truncation, not a header addition/removal: the diff is
+    # folded over the copied span only and the payload passes through.
+    # (The caller restores the copy's total-length bookkeeping write
+    # first; the next test shows what happens if it does not.)
+    merger = XorMerger()
+    pkt = build_packet(payload=b"\xab" * 400)
+    original = merger.retain(pkt)
+
+    v1 = original.full_copy(1)
+    v2 = original.header_copy(2)
+    assert len(v2.buf) < len(original.buf)
+    v2.ipv4.total_length = original.ipv4.total_length
+    v2.ipv4.ttl = 3
+
+    merged = merger.merge(original, {1: v1, 2: v2})
+    assert merged.ipv4.ttl == 3
+    assert bytes(merged.buf[-400:]) == b"\xab" * 400
+    assert len(merged.buf) == len(original.buf)
+    assert merged.ipv4.total_length == original.ipv4.total_length
+    assert merger.rejected == 0
+
+
+def test_xor_merge_leaks_header_copy_length_rewrite():
+    # Drawback of the XOR design with truncated copies: header_copy()
+    # rewrites the copy's IPv4 total-length so the copy is
+    # self-consistent, and the blind XOR fold cannot tell that
+    # bookkeeping write from a real NF modification -- it leaks into
+    # the merged packet.  The MO design is immune: it only moves fields
+    # named by merge operations.
+    merger = XorMerger()
+    pkt = build_packet(payload=b"\xcd" * 400)
+    original = merger.retain(pkt)
+
+    v2 = original.header_copy(2)
+    assert v2.ipv4.total_length != original.ipv4.total_length
+
+    merged = merger.merge(original, {1: original.full_copy(1), 2: v2})
+    assert merged.ipv4.total_length == v2.ipv4.total_length
+    assert merged.ipv4.total_length != original.ipv4.total_length
+
+
+def test_xor_merge_preserves_version_word():
+    # The output must carry the original's metadata word: version 1,
+    # same MID/PID -- branch copies tagged v2..v4 must not leak their
+    # version into the merged packet (§5.2's 20/40/4-bit word).
+    from repro.core.graph import ORIGINAL_VERSION
+    from repro.net.packet import PacketMeta
+
+    merger = XorMerger()
+    pkt = build_packet(size=96)
+    pkt.meta = PacketMeta(mid=5, pid=1234, version=ORIGINAL_VERSION)
+    original = merger.retain(pkt)
+
+    v2 = original.full_copy(2)
+    v2.ipv4.ttl = 2
+    v3 = original.full_copy(3)
+    v3.ipv4.dst_ip = "6.6.6.6"
+    assert v2.meta.version == 2 and v3.meta.version == 3
+
+    merged = merger.merge(original, {2: v2, 3: v3})
+    assert merged.meta.version == ORIGINAL_VERSION
+    assert (merged.meta.mid, merged.meta.pid) == (5, 1234)
+    assert merged.meta.pack() == pkt.meta.pack()
