@@ -4,18 +4,57 @@ Each benchmark regenerates one table/figure of the paper and saves the
 rendered table under ``benchmarks/results/``.  Set ``REPRO_BENCH_PACKETS``
 to trade fidelity for speed (default 1200 packets per measured point;
 the paper-vs-measured tables in EXPERIMENTS.md used 3000).
+
+Saved tables are stamped with run metadata (commit, packet budget,
+seed) so text artifacts stay comparable across PRs; the machine-readable
+counterpart is ``python -m repro bench`` (see docs/BENCHMARKS.md).
 """
 
 import os
 import pathlib
+import subprocess
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: The seed every measure_* entry point defaults to; recorded in stamps.
+DEFAULT_SEED = 1
+
 
 def bench_packets(default: int = 1200) -> int:
     return int(os.environ.get("REPRO_BENCH_PACKETS", default))
+
+
+def _commit_stamp() -> str:
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).parent,
+        ).stdout.strip()
+        if not commit:
+            return "unknown"
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).parent,
+        ).stdout.strip()
+        return f"{commit}{' (dirty)' if dirty else ''}"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def run_stamp(seed: int = DEFAULT_SEED) -> str:
+    """Metadata header for saved tables: commit, packet budget, seed."""
+    packets = bench_packets()
+    source = ("REPRO_BENCH_PACKETS" if "REPRO_BENCH_PACKETS" in os.environ
+              else "default")
+    return "\n".join([
+        f"# commit : {_commit_stamp()}",
+        f"# packets: {packets} ({source})",
+        f"# seed   : {seed}",
+    ])
 
 
 @pytest.fixture
@@ -25,10 +64,11 @@ def packets() -> int:
 
 @pytest.fixture
 def save_table():
-    """Persist a rendered experiment table next to the benchmarks."""
+    """Persist a rendered experiment table, stamped with run metadata."""
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, seed: int = DEFAULT_SEED) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        stamped = f"{run_stamp(seed)}\n{text}\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(stamped)
 
     return _save

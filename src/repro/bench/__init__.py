@@ -1,0 +1,60 @@
+"""repro.bench: the machine-readable benchmark trajectory.
+
+The observability layer for performance: a registry of named, seeded
+scenarios (:mod:`repro.bench.spec`) run by :func:`run_bench` into
+schema-versioned ``BENCH_<n>.json`` reports (:mod:`repro.bench.schema`)
+that a tolerance-banded comparator (:mod:`repro.bench.compare`) can
+gate CI on.  Every report also records harness self-observability --
+wall-time, peak RSS, and per-stage time attribution rolled up from
+:mod:`repro.telemetry` tracer spans.
+
+Entry points: ``python -m repro bench [--quick|--full]`` to measure,
+``python -m repro bench --compare old.json new.json`` to gate.
+"""
+
+from .schema import (
+    GATED_METRICS,
+    SCHEMA,
+    BenchReport,
+    ScenarioResult,
+    measurement_to_dict,
+    validate_bench,
+)
+from .spec import REGISTRY, BenchmarkSpec, SpecOutcome, specs_for
+from .runner import (
+    DEFAULT_PACKETS,
+    git_describe,
+    next_bench_path,
+    run_bench,
+    run_spec,
+    summary_table,
+)
+from .compare import (
+    DEFAULT_TOLERANCES,
+    ComparisonReport,
+    MetricDelta,
+    compare_reports,
+)
+
+__all__ = [
+    "SCHEMA",
+    "GATED_METRICS",
+    "BenchReport",
+    "ScenarioResult",
+    "measurement_to_dict",
+    "validate_bench",
+    "BenchmarkSpec",
+    "SpecOutcome",
+    "REGISTRY",
+    "specs_for",
+    "DEFAULT_PACKETS",
+    "run_bench",
+    "run_spec",
+    "summary_table",
+    "next_bench_path",
+    "git_describe",
+    "DEFAULT_TOLERANCES",
+    "ComparisonReport",
+    "MetricDelta",
+    "compare_reports",
+]

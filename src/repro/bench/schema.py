@@ -1,0 +1,304 @@
+"""The bench result model: schema-versioned, JSON-serialised, validated.
+
+One :class:`BenchReport` is one benchmark session: run metadata (mode,
+budgets, commit, interpreter) plus one :class:`ScenarioResult` per
+registered scenario.  Reports serialise to the ``BENCH_<n>.json``
+artifacts at the repo root -- the machine-readable perf trajectory the
+comparator (:mod:`repro.bench.compare`) and CI gate on.
+
+The same serializer backs ``python -m repro measure --json``
+(:func:`measurement_to_dict`), so scripts never scrape ASCII tables.
+
+Schema evolution: bump :data:`SCHEMA` when a field changes meaning or
+disappears; adding optional fields is backward compatible.  The
+comparator refuses to diff reports with different schema identifiers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Union
+
+from ..eval.harness import MeasurementResult
+from ..telemetry.rollup import STAGE_NAMES, StageRollup
+
+__all__ = [
+    "SCHEMA",
+    "GATED_METRICS",
+    "measurement_to_dict",
+    "ScenarioResult",
+    "BenchReport",
+    "validate_bench",
+]
+
+#: Current schema identifier, stored in every report.
+SCHEMA = "repro.bench/1"
+
+#: Metric keys the comparator gates on, with the direction that counts
+#: as a regression ("up" = an increase is bad, "down" = a decrease is).
+GATED_METRICS = {
+    "latency_p50_us": "up",
+    "latency_p99_us": "up",
+    "latency_mean_us": "up",
+    "throughput_mpps": "down",
+    "resource_overhead": "up",
+    "lost": "up",
+}
+
+#: Metric keys every scenario must carry (superset of the gated ones).
+REQUIRED_METRICS = tuple(GATED_METRICS) + (
+    "offered_mpps",
+    "delivered",
+    "nil_dropped",
+    "cores_used",
+    "copies_full",
+    "copies_header",
+)
+
+
+def measurement_to_dict(result: MeasurementResult) -> Dict:
+    """Serialise a :class:`MeasurementResult` to plain JSON-able data.
+
+    The single serialisation of measurement output in the repo: the
+    bench runner embeds these fields in scenario metrics and the
+    ``measure --json`` CLI dumps them verbatim.
+    """
+    return {
+        "system": result.system,
+        "label": result.label,
+        "latency_mean_us": result.latency_mean_us,
+        "latency_p50_us": result.latency_p50_us,
+        "latency_p99_us": result.latency_p99_us,
+        "throughput_mpps": result.throughput_mpps,
+        "bottleneck": result.bottleneck,
+        "offered_mpps": result.offered_mpps,
+        "delivered": result.delivered,
+        "lost": result.lost,
+        "nil_dropped": result.nil_dropped,
+        "resource_overhead": result.resource_overhead,
+        "cores_used": result.cores_used,
+        "lossless": result.lossless,
+    }
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measured metrics plus harness self-observability."""
+
+    name: str
+    system: str
+    label: str
+    params: Dict = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
+    #: Metric keys that depend on wall-clock (host speed) rather than
+    #: simulated time; the comparator reports but never gates them.
+    volatile: List[str] = field(default_factory=list)
+    #: Harness self-observability: where the *Python* spent its time.
+    wall_time_s: float = 0.0
+    peak_rss_kb: int = 0
+    stage_us: Dict[str, float] = field(default_factory=dict)
+    stage_shares: Dict[str, float] = field(default_factory=dict)
+    stage_events: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_parts(
+        cls,
+        name: str,
+        measurement: Dict,
+        rollup: StageRollup,
+        params: Dict,
+        wall_time_s: float,
+        peak_rss_kb: int,
+        extra_metrics: Dict = None,
+        volatile: List[str] = None,
+    ) -> "ScenarioResult":
+        metrics = {
+            key: value
+            for key, value in measurement.items()
+            if key not in ("system", "label")
+        }
+        if extra_metrics:
+            metrics.update(extra_metrics)
+        return cls(
+            name=name,
+            system=measurement.get("system", "NFP"),
+            label=measurement.get("label", name),
+            params=dict(params),
+            metrics=metrics,
+            volatile=list(volatile or []),
+            wall_time_s=wall_time_s,
+            peak_rss_kb=peak_rss_kb,
+            stage_us=dict(rollup.times_us),
+            stage_shares=rollup.shares(),
+            stage_events=dict(rollup.events),
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "system": self.system,
+            "label": self.label,
+            "params": self.params,
+            "metrics": self.metrics,
+            "volatile": self.volatile,
+            "self": {
+                "wall_time_s": self.wall_time_s,
+                "peak_rss_kb": self.peak_rss_kb,
+                "stage_us": self.stage_us,
+                "stage_shares": self.stage_shares,
+                "stage_events": self.stage_events,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "ScenarioResult":
+        harness = record.get("self", {})
+        return cls(
+            name=record["name"],
+            system=record.get("system", "NFP"),
+            label=record.get("label", record["name"]),
+            params=dict(record.get("params", {})),
+            metrics=dict(record.get("metrics", {})),
+            volatile=list(record.get("volatile", [])),
+            wall_time_s=float(harness.get("wall_time_s", 0.0)),
+            peak_rss_kb=int(harness.get("peak_rss_kb", 0)),
+            stage_us=dict(harness.get("stage_us", {})),
+            stage_shares=dict(harness.get("stage_shares", {})),
+            stage_events=dict(harness.get("stage_events", {})),
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark session, ready for ``BENCH_<n>.json``."""
+
+    meta: Dict = field(default_factory=dict)
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+    schema: str = SCHEMA
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for result in self.scenarios:
+            if result.name == name:
+                return result
+        raise KeyError(f"no scenario {name!r} in report")
+
+    def names(self) -> List[str]:
+        return [result.name for result in self.scenarios]
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "meta": self.meta,
+            "scenarios": [result.to_dict() for result in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "BenchReport":
+        return cls(
+            schema=document.get("schema", ""),
+            meta=dict(document.get("meta", {})),
+            scenarios=[
+                ScenarioResult.from_dict(record)
+                for record in document.get("scenarios", [])
+            ],
+        )
+
+    def save(self, target: Union[str, IO]) -> None:
+        document = self.to_dict()
+        problems = validate_bench(document)
+        if problems:
+            raise ValueError(
+                "refusing to write an invalid bench report: "
+                + "; ".join(problems)
+            )
+        own = isinstance(target, str)
+        handle = open(target, "w") if own else target
+        try:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        finally:
+            if own:
+                handle.close()
+
+    @classmethod
+    def load(cls, source: Union[str, IO]) -> "BenchReport":
+        own = isinstance(source, str)
+        handle = open(source) if own else source
+        try:
+            document = json.load(handle)
+        finally:
+            if own:
+                handle.close()
+        problems = validate_bench(document)
+        if problems:
+            raise ValueError(
+                f"invalid bench report {source if own else ''}: "
+                + "; ".join(problems)
+            )
+        return cls.from_dict(document)
+
+
+def validate_bench(document: Dict) -> List[str]:
+    """Check a bench document against the schema; returns problems found.
+
+    An empty list means the document is valid.  Validation is structural
+    (required keys, types, stage vocabulary) rather than jsonschema-based
+    so it needs no third-party dependency.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    meta = document.get("meta")
+    if not isinstance(meta, dict):
+        problems.append("meta missing or not an object")
+    else:
+        for key in ("mode", "packets", "seed"):
+            if key not in meta:
+                problems.append(f"meta.{key} missing")
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        problems.append("scenarios missing or empty")
+        return problems
+    seen = set()
+    for index, record in enumerate(scenarios):
+        where = f"scenarios[{index}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        name = record.get("name")
+        if not name:
+            problems.append(f"{where}.name missing")
+        elif name in seen:
+            problems.append(f"{where}: duplicate scenario name {name!r}")
+        else:
+            seen.add(name)
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"{where}.metrics missing")
+            continue
+        for key in REQUIRED_METRICS:
+            if key not in metrics:
+                problems.append(f"{where}.metrics.{key} missing")
+            elif not isinstance(metrics[key], (int, float)):
+                problems.append(f"{where}.metrics.{key} is not a number")
+        harness = record.get("self")
+        if not isinstance(harness, dict):
+            problems.append(f"{where}.self missing")
+            continue
+        stage_us = harness.get("stage_us")
+        if not isinstance(stage_us, dict):
+            problems.append(f"{where}.self.stage_us missing")
+        else:
+            unknown = set(stage_us) - set(STAGE_NAMES)
+            if unknown:
+                problems.append(
+                    f"{where}.self.stage_us has unknown stages {sorted(unknown)}"
+                )
+            if sum(stage_us.get(stage, 0.0) for stage in STAGE_NAMES) <= 0.0:
+                problems.append(f"{where}.self.stage_us attributes no time")
+    return problems

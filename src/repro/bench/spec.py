@@ -1,0 +1,328 @@
+"""The benchmark scenario registry: named, seeded, budgeted workloads.
+
+Every scenario wraps an existing ``repro.eval`` entry point with fixed
+seeds and a packet budget, collects telemetry spans while it runs, and
+reports the measurement plus a per-stage time attribution
+(:mod:`repro.telemetry.rollup`).  The registry is the single source of
+truth for what ``python -m repro bench`` runs:
+
+* ``seq_chain_N`` / ``par_chain_N`` -- firewall chains of length 2-6,
+  sequential vs NFP-parallel (Fig. 9/11 forced setups, 300 busy cycles);
+* ``fig11_degree_*`` -- the parallelism-degree sweep points;
+* ``fig13_north_south`` / ``fig13_west_east`` -- the real-world
+  data-center chains, compiled from policies, data-center size mix;
+* ``ablation_op1_full_copy`` / ``ablation_op2_header_copy`` -- the §4.2
+  copy-operation ablations (full vs header-only copies, degree 2);
+* ``fuzz_corpus_replay`` -- the committed differential-fuzz corpus
+  replayed through all three planes, as a throughput workload.
+
+Scenarios tagged ``quick`` form the CI smoke set; ``--full`` runs
+everything at a larger packet budget.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from ..core.orchestrator import Orchestrator
+from ..core.policy import Policy
+from ..eval.experiments import NORTH_SOUTH_CHAIN, WEST_EAST_CHAIN
+from ..eval.forced import forced_parallel, forced_sequential
+from ..eval.harness import measure_nfp
+from ..sim.stats import summarize
+from ..telemetry import SpanKind, StageRollup, TelemetryHub, Tracer, stage_rollup
+from ..traffic.generator import DATACENTER_MIX, PacketSizeDistribution
+from .schema import measurement_to_dict
+
+__all__ = [
+    "BenchmarkSpec",
+    "SpecOutcome",
+    "REGISTRY",
+    "specs_for",
+    "corpus_dir",
+]
+
+#: Busy-loop cycles for the synthetic firewall chains (Fig. 9/11 point).
+CHAIN_BUSY_CYCLES = 300
+
+#: The copy ablations run 512 B frames so OP#1 (full copy) and OP#2
+#: (64 B header copy) actually differ -- at 64 B they are the same copy.
+FIXED_512B = PacketSizeDistribution([(512, 1.0)], name="512B")
+
+
+@dataclass
+class SpecOutcome:
+    """What one scenario runner hands back to the bench runner."""
+
+    measurement: Dict
+    rollup: StageRollup
+    extra_metrics: Dict = field(default_factory=dict)
+    volatile: List[str] = field(default_factory=list)
+    params: Dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named scenario: description, quick-set membership, runner."""
+
+    name: str
+    description: str
+    quick: bool
+    runner: Callable[[int, int], SpecOutcome]
+
+
+def _counter_extras(hub: TelemetryHub) -> Dict:
+    registry = hub.registry
+    return {
+        "copies_full": registry.counter_value("copy.full"),
+        "copies_header": registry.counter_value("copy.header"),
+        "ring_hops": registry.counter_value("ring.hops"),
+        "merged": registry.counter_value("merger.merged"),
+    }
+
+
+def _measured(
+    target_factory: Callable,
+    extra_cycles: int = 0,
+    sizes=None,
+    label: str = "",
+) -> Callable[[int, int], SpecOutcome]:
+    """Build a runner around :func:`measure_nfp` with span collection."""
+
+    def run(packets: int, seed: int) -> SpecOutcome:
+        tracer = Tracer()
+        hub = TelemetryHub(tracer=tracer)
+        kwargs = dict(packets=packets, seed=seed, telemetry=hub,
+                      extra_cycles=extra_cycles)
+        if sizes is not None:
+            kwargs["sizes"] = sizes
+        if label:
+            kwargs["label"] = label
+        result = measure_nfp(target_factory(), **kwargs)
+        return SpecOutcome(
+            measurement=measurement_to_dict(result),
+            rollup=stage_rollup(tracer.events),
+            extra_metrics=_counter_extras(hub),
+            params={"packets": packets, "seed": seed,
+                    "extra_cycles": extra_cycles},
+        )
+
+    return run
+
+
+def _compiled_chain(chain) -> Callable:
+    def build():
+        policy = Policy.from_chain(list(chain))
+        return Orchestrator().compile(policy).graph
+
+    return build
+
+
+def corpus_dir() -> str:
+    """Locate the committed fuzz corpus (repo checkout or cwd)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates = [
+        os.path.normpath(os.path.join(here, "..", "..", "..", "tests", "corpus")),
+        os.path.join(os.getcwd(), "tests", "corpus"),
+    ]
+    for candidate in candidates:
+        if os.path.isdir(candidate):
+            return candidate
+    raise FileNotFoundError(
+        "fuzz corpus not found (looked in "
+        + ", ".join(candidates)
+        + "); run from a repo checkout or pass a corpus explicitly"
+    )
+
+
+def _replay_corpus(packets: int, seed: int) -> SpecOutcome:
+    """Replay the committed fuzz corpus through all three planes.
+
+    Latency percentiles come from the DES plane's span timestamps
+    (simulated time, deterministic); the packets/s figure is wall-clock
+    and therefore marked volatile.  Each case gets a fresh tracer so
+    packet keys never collide across cases.
+    """
+    from ..check import FuzzCase, run_case
+
+    rollup = StageRollup()
+    latencies: List[float] = []
+    cases = failures = replayed_packets = 0
+    copies_full = copies_header = 0
+    started = perf_counter()
+    for path in sorted(glob.glob(os.path.join(corpus_dir(), "*.json"))):
+        tracer = Tracer()
+        hub = TelemetryHub(tracer=tracer)
+        outcome = run_case(FuzzCase.load(path), include_des=True, telemetry=hub)
+        cases += 1
+        replayed_packets += outcome.packets
+        if not outcome.ok:
+            failures += 1
+        copies_full += hub.registry.counter_value("copy.full")
+        copies_header += hub.registry.counter_value("copy.header")
+        rollup.merge(stage_rollup(tracer.events))
+        for trace in tracer.traces().values():
+            classify = next(
+                (e for e in trace.events if e.kind is SpanKind.CLASSIFY), None)
+            terminal = trace.terminal
+            if classify is None or terminal is None:
+                continue
+            if terminal.kind is not SpanKind.OUTPUT:
+                continue
+            ingress = (classify.args or {}).get("ingress_us", classify.ts_us)
+            latencies.append(terminal.ts_us - float(ingress))
+    wall_s = max(perf_counter() - started, 1e-9)
+    if latencies:
+        summary = summarize(latencies)
+        mean, p50, p99 = summary.mean, summary.p50, summary.p99
+    else:
+        mean = p50 = p99 = 0.0
+    measurement = {
+        "system": "NFP-DES",
+        "label": f"fuzz corpus replay ({cases} cases)",
+        "latency_mean_us": mean,
+        "latency_p50_us": p50,
+        "latency_p99_us": p99,
+        "throughput_mpps": replayed_packets / wall_s / 1e6,
+        "bottleneck": "harness",
+        "offered_mpps": replayed_packets / wall_s / 1e6,
+        "delivered": len(latencies),
+        "lost": failures,
+        "nil_dropped": 0,
+        "resource_overhead": 0.0,
+        "cores_used": 0,
+    }
+    return SpecOutcome(
+        measurement=measurement,
+        rollup=rollup,
+        extra_metrics={"copies_full": copies_full,
+                       "copies_header": copies_header,
+                       "cases": cases, "cases_failed": failures},
+        volatile=["throughput_mpps", "offered_mpps"],
+        params={"cases": cases, "corpus": "tests/corpus"},
+    )
+
+
+def _firewall_specs() -> List[BenchmarkSpec]:
+    specs = []
+    for length in (2, 3, 4, 5, 6):
+        quick = length in (2, 4, 6)
+        specs.append(BenchmarkSpec(
+            name=f"seq_chain_{length}",
+            description=(f"sequential firewall chain x{length} "
+                         f"({CHAIN_BUSY_CYCLES} busy cycles)"),
+            quick=quick,
+            runner=_measured(
+                lambda n=length: forced_sequential(["firewall"] * n),
+                extra_cycles=CHAIN_BUSY_CYCLES,
+            ),
+        ))
+        specs.append(BenchmarkSpec(
+            name=f"par_chain_{length}",
+            description=(f"NFP parallel firewall chain x{length}, no copy "
+                         f"({CHAIN_BUSY_CYCLES} busy cycles)"),
+            quick=quick,
+            runner=_measured(
+                lambda n=length: forced_parallel(["firewall"] * n,
+                                                 with_copy=False),
+                extra_cycles=CHAIN_BUSY_CYCLES,
+            ),
+        ))
+    return specs
+
+
+def _build_registry() -> Dict[str, BenchmarkSpec]:
+    specs: List[BenchmarkSpec] = []
+    specs.extend(_firewall_specs())
+    specs.append(BenchmarkSpec(
+        name="fig11_degree_3_nocopy",
+        description="Fig. 11 degree sweep: 3 firewalls, shared buffer",
+        quick=False,
+        runner=_measured(
+            lambda: forced_parallel(["firewall"] * 3, with_copy=False),
+            extra_cycles=CHAIN_BUSY_CYCLES,
+        ),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig11_degree_5_nocopy",
+        description="Fig. 11 degree sweep: 5 firewalls, shared buffer",
+        quick=True,
+        runner=_measured(
+            lambda: forced_parallel(["firewall"] * 5, with_copy=False),
+            extra_cycles=CHAIN_BUSY_CYCLES,
+        ),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig11_degree_5_copy",
+        description="Fig. 11 degree sweep: 5 firewalls, per-NF copies",
+        quick=False,
+        runner=_measured(
+            lambda: forced_parallel(["firewall"] * 5, with_copy=True),
+            extra_cycles=CHAIN_BUSY_CYCLES,
+        ),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig13_north_south",
+        description="Fig. 13 north-south chain (compiled, data-center mix)",
+        quick=True,
+        runner=_measured(_compiled_chain(NORTH_SOUTH_CHAIN),
+                         sizes=DATACENTER_MIX, label="north-south"),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig13_west_east",
+        description="Fig. 13 west-east chain (compiled, data-center mix)",
+        quick=True,
+        runner=_measured(_compiled_chain(WEST_EAST_CHAIN),
+                         sizes=DATACENTER_MIX, label="west-east"),
+    ))
+    specs.append(BenchmarkSpec(
+        name="ablation_op1_full_copy",
+        description="OP#1 ablation: degree-2 firewall, full 512B copies",
+        quick=True,
+        runner=_measured(
+            lambda: forced_parallel(["firewall", "firewall"], with_copy=True,
+                                    header_only=False),
+            extra_cycles=CHAIN_BUSY_CYCLES, sizes=FIXED_512B,
+        ),
+    ))
+    specs.append(BenchmarkSpec(
+        name="ablation_op2_header_copy",
+        description="OP#2 ablation: degree-2 firewall, header-only copies of "
+                    "512B frames",
+        quick=True,
+        runner=_measured(
+            lambda: forced_parallel(["firewall", "firewall"], with_copy=True,
+                                    header_only=True),
+            extra_cycles=CHAIN_BUSY_CYCLES, sizes=FIXED_512B,
+        ),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fuzz_corpus_replay",
+        description="committed fuzz corpus replayed through all three planes",
+        quick=True,
+        runner=_replay_corpus,
+    ))
+    return {spec.name: spec for spec in specs}
+
+
+#: All registered scenarios, by name (insertion order = run order).
+REGISTRY: Dict[str, BenchmarkSpec] = _build_registry()
+
+
+def specs_for(mode: str = "quick",
+              names: Optional[List[str]] = None) -> List[BenchmarkSpec]:
+    """Select scenarios: ``quick``/``full`` mode or an explicit name list."""
+    if names:
+        unknown = [name for name in names if name not in REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown scenario(s): {', '.join(unknown)}")
+        return [REGISTRY[name] for name in names]
+    if mode == "full":
+        return list(REGISTRY.values())
+    if mode == "quick":
+        return [spec for spec in REGISTRY.values() if spec.quick]
+    raise ValueError(f"unknown bench mode {mode!r} (use 'quick' or 'full')")

@@ -237,11 +237,12 @@ def _run_des(
     case: FuzzCase,
     orch: Orchestrator,
     policy: Policy,
+    telemetry: TelemetryHub = NULL_HUB,
 ) -> Tuple[Dict[int, Optional[bytes]], int, Optional[str]]:
     """Run the timed dataplane; returns (outputs, lost, meta_error)."""
     deployed = orch.deploy(policy)
-    env = Environment()
-    server = NFPServer(env, DEFAULT_PARAMS)
+    env = Environment(track_stats=telemetry.enabled)
+    server = NFPServer(env, DEFAULT_PARAMS, telemetry=telemetry)
     server.keep_packets = True
     server.deploy(deployed)
     packets = case.build_packets()
@@ -346,7 +347,8 @@ def run_case(
             mismatched_idents=mismatched, **base))
 
     if include_des:
-        des_out, lost, meta_error = _run_des(case, orch, policy)
+        des_out, lost, meta_error = _run_des(case, orch, policy,
+                                             telemetry=telemetry)
         if lost:
             return finish(CaseOutcome(
                 ok=False, kind="des-loss",

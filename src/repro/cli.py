@@ -9,7 +9,13 @@ compile
 measure
     Run a chain on the simulated testbed under NFP / OpenNetVM / BESS
     and print latency, throughput, and overhead.  ``--telemetry``
-    additionally collects and prints per-NF metrics for the NFP runs.
+    additionally collects and prints per-NF metrics for the NFP runs;
+    ``--json`` dumps the results as JSON instead of the ASCII table.
+bench
+    Run the registered benchmark scenarios (``--quick``/``--full``)
+    into a schema-versioned ``BENCH_<n>.json`` report, or compare two
+    reports (``--compare old.json new.json``) and exit non-zero on
+    regressions beyond tolerance.
 trace
     Run a chain with packet-lifecycle tracing enabled; write a Chrome
     ``trace_event`` file (chrome://tracing / Perfetto) and print the
@@ -86,10 +92,14 @@ def cmd_compile(args) -> int:
 
 
 def cmd_measure(args) -> int:
+    import json
+
+    from .bench.schema import measurement_to_dict
     from .telemetry import TelemetryHub, nf_summary_table
 
     chain = _chain_from(args)
     rows = []
+    results = []
     hub = TelemetryHub() if args.telemetry else None
     systems = args.systems.split(",")
     for system in systems:
@@ -107,11 +117,19 @@ def cmd_measure(args) -> int:
                                   packets=args.packets)
         else:
             raise SystemExit(f"unknown system {system!r}")
+        results.append(result)
         rows.append([
             result.system, result.label, result.latency_mean_us,
             result.latency_p99_us, result.throughput_mpps,
             result.bottleneck, result.resource_overhead * 100,
         ])
+    if args.json:
+        document = {"chain": chain, "packets": args.packets,
+                    "results": [measurement_to_dict(r) for r in results]}
+        if hub is not None:
+            document["telemetry"] = hub.registry.snapshot()
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(render_table(
         ["system", "graph", "lat us", "p99 us", "Mpps", "bottleneck",
          "overhead %"], rows))
@@ -217,6 +235,61 @@ def cmd_fuzz(args) -> int:
         if failure.test_path:
             print(f"    repro: {failure.json_path}  {failure.test_path}")
     return 1
+
+
+def cmd_bench(args) -> int:
+    """Run the benchmark scenario registry, or compare two reports."""
+    from .bench import (
+        BenchReport,
+        REGISTRY,
+        compare_reports,
+        next_bench_path,
+        run_bench,
+        summary_table,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = BenchReport.load(old_path)
+            new = BenchReport.load(new_path)
+            comparison = compare_reports(old, new)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bench compare failed: {exc}")
+        print(f"old: {old_path} (commit {old.meta.get('commit', '?')}, "
+              f"{old.meta.get('mode', '?')}, {len(old.scenarios)} scenarios)")
+        print(f"new: {new_path} (commit {new.meta.get('commit', '?')}, "
+              f"{new.meta.get('mode', '?')}, {len(new.scenarios)} scenarios)\n")
+        print(comparison.render(verbose=args.verbose))
+        return comparison.exit_code
+
+    if args.list:
+        for spec in REGISTRY.values():
+            tag = "quick" if spec.quick else "full "
+            print(f"{tag}  {spec.name:<26s} {spec.description}")
+        return 0
+
+    mode = "full" if args.full else "quick"
+    names = [n.strip() for n in args.only.split(",") if n.strip()] \
+        if args.only else None
+    try:
+        report = run_bench(mode=mode, packets=args.packets, seed=args.seed,
+                           names=names, log=lambda line: print(f"  {line}"))
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    out = args.out or next_bench_path(".")
+    report.save(out)
+    print()
+    print(summary_table(report))
+    meta = report.meta
+    print(f"\nmode={meta['mode']} packets={meta['packets']} "
+          f"seed={meta['seed']} commit={meta['commit']}"
+          f"{' (dirty)' if meta['dirty'] else ''}")
+    print(f"wall time: {meta['wall_time_s']:.1f}s  "
+          f"peak rss: {meta['peak_rss_kb'] / 1024:.0f} MiB")
+    print(f"report   : {out} ({len(report.scenarios)} scenarios, "
+          f"schema {report.schema})")
+    return 0
 
 
 def cmd_pairs(args) -> int:
@@ -331,7 +404,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument("--packets", type=int, default=2000)
     p_measure.add_argument("--telemetry", action="store_true",
                            help="collect and print per-NF metrics (NFP runs)")
+    p_measure.add_argument("--json", action="store_true",
+                           help="dump results as JSON instead of a table")
     p_measure.set_defaults(func=cmd_measure)
+
+    p_bench = sub.add_parser(
+        "bench", help="run benchmark scenarios / compare BENCH reports")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="quick scenario set (default)")
+    p_bench.add_argument("--full", action="store_true",
+                         help="every scenario at the full packet budget")
+    p_bench.add_argument("--packets", type=int, default=None,
+                         help="override the per-scenario packet budget")
+    p_bench.add_argument("--seed", type=int, default=1,
+                         help="traffic/flow seed (default 1)")
+    p_bench.add_argument("--only", metavar="A,B,...",
+                         help="run only the named scenarios")
+    p_bench.add_argument("--out", help="output path "
+                         "(default: next free BENCH_<n>.json in cwd)")
+    p_bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                         help="compare two reports; exit 1 on regressions")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list registered scenarios")
+    p_bench.add_argument("-v", "--verbose", action="store_true",
+                         help="with --compare, show within-band rows too")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_trace = sub.add_parser("trace",
                              help="trace packet lifecycles through a chain")

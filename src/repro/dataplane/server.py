@@ -172,7 +172,8 @@ class _MergerSim:
         key = (meta.mid, meta.pid)
         entry = self.at.get(key)
         if entry is None:
-            entry = {"count": 0, "versions": {}, "nil": False}
+            entry = {"count": 0, "versions": {}, "nil": False,
+                     "opened_us": self.server.env.now}
             self.at[key] = entry
             self.at_high_watermark = max(self.at_high_watermark, len(self.at))
             if hub.enabled:
@@ -205,11 +206,6 @@ class _MergerSim:
         merged = apply_merge_ops(entry["versions"], graph.merge_ops,
                                  telemetry=hub)
         merged.stamp("merged", self.server.env.now)
-        if hub.enabled:
-            hub.inc("merger.merged")
-            hub.span(SpanKind.MERGE_APPLY, self.server.env.now, merged.meta,
-                     name=f"merger{self.index}")
-        self.merged += 1
         # Rendezvous latency: AT bookkeeping plus the copy-collection
         # penalty (§6.3.2), charged as pipeline latency, not core time.
         delay = params.merge_latency_us + (
@@ -217,6 +213,15 @@ class _MergerSim:
         ) + graph.total_count * params.merge_per_notification_us + len(
             graph.merge_ops
         ) * params.merge_per_mo_us
+        if hub.enabled:
+            hub.inc("merger.merged")
+            # wait_us: AT entry opening -> last notification (rendezvous
+            # wait); duration_us: the apply/bookkeeping latency itself.
+            # Both ride on the event so stage rollups need no pairing.
+            hub.span(SpanKind.MERGE_APPLY, self.server.env.now, merged.meta,
+                     name=f"merger{self.index}", duration_us=delay,
+                     args={"wait_us": self.server.env.now - entry["opened_us"]})
+        self.merged += 1
         self.server.emit(merged, extra_delay=delay)
 
 

@@ -29,6 +29,7 @@ from .metrics import (
 )
 from .tracer import PacketTrace, SpanEvent, SpanKind, Tracer
 from .hooks import NULL_HUB, TelemetryHub
+from .rollup import STAGE_NAMES, StageRollup, stage_rollup
 from .export import (
     events_from_chrome_trace,
     events_from_jsonl,
@@ -51,6 +52,9 @@ __all__ = [
     "Tracer",
     "TelemetryHub",
     "NULL_HUB",
+    "STAGE_NAMES",
+    "StageRollup",
+    "stage_rollup",
     "events_to_jsonl",
     "events_from_jsonl",
     "to_chrome_trace",

@@ -1,0 +1,110 @@
+"""End-to-end bench subsystem: quick run, JSON artifact, CLI gates.
+
+Runs the real quick scenario set at a tiny packet budget and checks the
+acceptance surface: a schema-valid report covering >= 8 scenarios, each
+with throughput, latency percentiles, resource overhead, and non-empty
+per-stage attribution; the compare CLI exiting 0 on identical inputs
+and 1 on a synthetic regression; and ``measure --json`` emitting the
+same serialisation scripts consume.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import BenchReport, validate_bench
+from repro.cli import main
+
+BUDGET = "120"  # packets per scenario: enough for stable spans, fast
+
+
+@pytest.fixture(scope="module")
+def quick_report_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_0.json"
+    code = main(["bench", "--quick", "--packets", BUDGET,
+                 "--seed", "1", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+def test_quick_run_writes_schema_valid_report(quick_report_path):
+    document = json.loads(quick_report_path.read_text())
+    assert validate_bench(document) == []
+    report = BenchReport.load(str(quick_report_path))
+    assert len(report.scenarios) >= 8
+    assert report.meta["mode"] == "quick"
+    assert report.meta["packets"] == int(BUDGET)
+    assert report.meta["wall_time_s"] > 0
+
+
+def test_every_scenario_reports_metrics_and_attribution(quick_report_path):
+    report = BenchReport.load(str(quick_report_path))
+    for scenario in report.scenarios:
+        metrics = scenario.metrics
+        assert metrics["throughput_mpps"] > 0, scenario.name
+        assert metrics["latency_p50_us"] > 0, scenario.name
+        assert metrics["latency_p99_us"] >= metrics["latency_p50_us"], \
+            scenario.name
+        assert metrics["resource_overhead"] >= 0, scenario.name
+        # Non-empty per-stage time attribution, normalised.
+        total = sum(scenario.stage_us.values())
+        assert total > 0, scenario.name
+        assert sum(scenario.stage_shares.values()) == pytest.approx(1.0), \
+            scenario.name
+        assert scenario.wall_time_s > 0, scenario.name
+
+
+def test_copy_ablations_separate_op1_from_op2(quick_report_path):
+    report = BenchReport.load(str(quick_report_path))
+    full = report.scenario("ablation_op1_full_copy")
+    header = report.scenario("ablation_op2_header_copy")
+    # 512B frames: a full copy costs 8x the bytes of a 64B header copy.
+    assert full.metrics["resource_overhead"] > \
+        header.metrics["resource_overhead"] * 4
+    assert full.metrics["copies_full"] > 0
+    assert header.metrics["copies_header"] > 0
+
+
+def test_corpus_replay_scenario_is_green(quick_report_path):
+    report = BenchReport.load(str(quick_report_path))
+    replay = report.scenario("fuzz_corpus_replay")
+    assert replay.metrics["cases"] >= 10
+    assert replay.metrics["cases_failed"] == 0
+    assert replay.metrics["delivered"] > 0
+    assert "throughput_mpps" in replay.volatile
+
+
+def test_compare_cli_zero_on_identical_one_on_regression(
+        quick_report_path, tmp_path):
+    assert main(["bench", "--compare", str(quick_report_path),
+                 str(quick_report_path)]) == 0
+
+    document = json.loads(quick_report_path.read_text())
+    for scenario in document["scenarios"]:
+        scenario["metrics"]["latency_p99_us"] *= 1.2
+    regressed = tmp_path / "BENCH_regressed.json"
+    regressed.write_text(json.dumps(document))
+    assert main(["bench", "--compare", str(quick_report_path),
+                 str(regressed)]) == 1
+
+
+def test_measure_json_emits_machine_readable_results(capsys):
+    code = main(["measure", "--chain", "firewall,monitor",
+                 "--systems", "nfp,onvm", "--packets", "200", "--json"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["chain"] == ["firewall", "monitor"]
+    systems = [record["system"] for record in document["results"]]
+    assert systems == ["NFP", "OpenNetVM"]
+    for record in document["results"]:
+        for key in ("latency_p50_us", "latency_p99_us", "throughput_mpps",
+                    "resource_overhead", "delivered", "lost"):
+            assert key in record
+
+
+def test_bench_list_and_unknown_scenario(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz_corpus_replay" in out
+    with pytest.raises(SystemExit):
+        main(["bench", "--only", "no_such_scenario"])

@@ -1,0 +1,106 @@
+"""Comparator tests: regression detection, jitter bands, partial overlap."""
+
+import pytest
+
+from repro.bench import BenchReport, ScenarioResult, compare_reports
+
+
+def _scenario(name, volatile=(), **metric_overrides) -> ScenarioResult:
+    metrics = dict(
+        latency_mean_us=40.0, latency_p50_us=38.0, latency_p99_us=55.0,
+        throughput_mpps=5.26, resource_overhead=0.0, lost=0,
+        offered_mpps=3.68, delivered=800, nil_dropped=0, cores_used=4,
+        copies_full=0, copies_header=0,
+    )
+    metrics.update(metric_overrides)
+    return ScenarioResult(
+        name=name, system="NFP", label=name, metrics=metrics,
+        volatile=list(volatile),
+        stage_us={"classify": 1.0, "ft": 3.0},
+        stage_shares={"classify": 0.25, "ft": 0.75},
+    )
+
+
+def _report(*scenarios, packets=800) -> BenchReport:
+    return BenchReport(
+        meta={"mode": "quick", "packets": packets, "seed": 1},
+        scenarios=list(scenarios),
+    )
+
+
+def test_detects_injected_20pct_latency_regression():
+    old = _report(_scenario("chain"))
+    new = _report(_scenario("chain", latency_p50_us=38.0 * 1.2,
+                            latency_p99_us=55.0 * 1.2))
+    comparison = compare_reports(old, new)
+    assert not comparison.ok
+    assert comparison.exit_code == 1
+    regressed = {(row.scenario, row.metric) for row in comparison.regressions}
+    assert ("chain", "latency_p50_us") in regressed
+    assert ("chain", "latency_p99_us") in regressed
+    assert "regression" in comparison.render()
+
+
+def test_tolerates_within_band_jitter():
+    old = _report(_scenario("chain"))
+    new = _report(_scenario("chain", latency_p50_us=38.0 * 1.05,
+                            throughput_mpps=5.26 * 0.95))
+    comparison = compare_reports(old, new)
+    assert comparison.ok
+    assert comparison.exit_code == 0
+    assert comparison.regressions == []
+
+
+def test_throughput_drop_and_new_loss_are_regressions():
+    old = _report(_scenario("chain"))
+    new = _report(_scenario("chain", throughput_mpps=5.26 * 0.8, lost=3))
+    comparison = compare_reports(old, new)
+    regressed = {row.metric for row in comparison.regressions}
+    assert "throughput_mpps" in regressed
+    assert "lost" in regressed
+
+
+def test_improvement_is_not_a_failure():
+    old = _report(_scenario("chain"))
+    new = _report(_scenario("chain", latency_p50_us=38.0 * 0.7))
+    comparison = compare_reports(old, new)
+    assert comparison.ok
+    assert [row.metric for row in comparison.improvements] == ["latency_p50_us"]
+
+
+def test_scenario_present_in_only_one_file_does_not_crash_or_fail():
+    old = _report(_scenario("kept"), _scenario("removed_one"))
+    new = _report(_scenario("kept"), _scenario("added_one"))
+    comparison = compare_reports(old, new)
+    assert comparison.ok
+    assert comparison.added == ["added_one"]
+    assert comparison.removed == ["removed_one"]
+    compared = {row.scenario for row in comparison.rows}
+    assert compared == {"kept"}
+    rendered = comparison.render()
+    assert "added_one" in rendered and "removed_one" in rendered
+
+
+def test_volatile_metrics_are_reported_but_never_gate():
+    old = _report(_scenario("replay", volatile=["throughput_mpps"]))
+    new = _report(_scenario("replay", volatile=["throughput_mpps"],
+                            throughput_mpps=5.26 * 0.5))
+    comparison = compare_reports(old, new)
+    assert comparison.ok
+    statuses = {row.metric: row.status for row in comparison.rows}
+    assert statuses["throughput_mpps"] == "volatile"
+
+
+def test_schema_mismatch_refuses_to_compare():
+    old = _report(_scenario("chain"))
+    new = _report(_scenario("chain"))
+    new.schema = "repro.bench/2"
+    with pytest.raises(ValueError, match="schema mismatch"):
+        compare_reports(old, new)
+
+
+def test_differing_packet_budgets_are_noted():
+    old = _report(_scenario("chain"), packets=800)
+    new = _report(_scenario("chain"), packets=3000)
+    comparison = compare_reports(old, new)
+    assert any("budget" in note for note in comparison.notes)

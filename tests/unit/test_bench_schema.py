@@ -1,0 +1,122 @@
+"""Unit tests for the bench result model: serializer, validation, paths."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    SCHEMA,
+    ScenarioResult,
+    measurement_to_dict,
+    next_bench_path,
+    validate_bench,
+)
+from repro.eval.harness import MeasurementResult
+from repro.telemetry import SpanEvent, SpanKind, stage_rollup
+
+
+def _measurement(**overrides) -> MeasurementResult:
+    fields = dict(
+        system="NFP", label="fw->fw", latency_mean_us=40.0,
+        latency_p50_us=38.0, latency_p99_us=55.0, throughput_mpps=5.26,
+        bottleneck="merger", offered_mpps=3.68, delivered=800, lost=0,
+        nil_dropped=0, resource_overhead=0.0, cores_used=4,
+    )
+    fields.update(overrides)
+    return MeasurementResult(**fields)
+
+
+def _rollup():
+    return stage_rollup([
+        SpanEvent(kind=SpanKind.NF_END, ts_us=4.0, mid=1, pid=1, version=1,
+                  duration_us=4.0),
+        SpanEvent(kind=SpanKind.CLASSIFY, ts_us=3.0, mid=1, pid=1, version=1,
+                  args={"ingress_us": 1.0}),
+    ])
+
+
+def _scenario(name="seq_chain_2", **measurement_overrides) -> ScenarioResult:
+    return ScenarioResult.from_parts(
+        name=name,
+        measurement=measurement_to_dict(_measurement(**measurement_overrides)),
+        rollup=_rollup(),
+        params={"packets": 800, "seed": 1},
+        wall_time_s=0.25,
+        peak_rss_kb=30000,
+        extra_metrics={"copies_full": 0, "copies_header": 0},
+    )
+
+
+def _report(*scenarios) -> BenchReport:
+    return BenchReport(
+        meta={"mode": "quick", "packets": 800, "seed": 1},
+        scenarios=list(scenarios) or [_scenario()],
+    )
+
+
+def test_measurement_to_dict_carries_every_figure_quantity():
+    record = measurement_to_dict(_measurement())
+    for key in ("latency_mean_us", "latency_p50_us", "latency_p99_us",
+                "throughput_mpps", "resource_overhead", "cores_used",
+                "delivered", "lost", "bottleneck", "lossless"):
+        assert key in record
+    assert record["lossless"] is True
+    assert json.loads(json.dumps(record)) == record
+
+
+def test_report_round_trips_through_json(tmp_path):
+    path = tmp_path / "BENCH_0.json"
+    report = _report()
+    report.save(str(path))
+    loaded = BenchReport.load(str(path))
+    assert loaded.schema == SCHEMA
+    assert loaded.names() == report.names()
+    scenario = loaded.scenario("seq_chain_2")
+    assert scenario.metrics["latency_p50_us"] == pytest.approx(38.0)
+    assert scenario.stage_us["ft"] == pytest.approx(4.0)
+    assert scenario.stage_shares["ft"] == pytest.approx(4.0 / 6.0)
+    assert scenario.wall_time_s == pytest.approx(0.25)
+
+
+def test_validate_flags_schema_and_structure_problems():
+    document = _report().to_dict()
+    assert validate_bench(document) == []
+
+    wrong_schema = dict(document, schema="repro.bench/999")
+    assert any("schema" in problem for problem in validate_bench(wrong_schema))
+
+    no_scenarios = dict(document, scenarios=[])
+    assert any("scenarios" in p for p in validate_bench(no_scenarios))
+
+    missing_metric = _report().to_dict()
+    del missing_metric["scenarios"][0]["metrics"]["latency_p99_us"]
+    assert any("latency_p99_us" in p for p in validate_bench(missing_metric))
+
+    duplicate = _report(_scenario(), _scenario()).to_dict()
+    assert any("duplicate" in p for p in validate_bench(duplicate))
+
+
+def test_validate_requires_non_empty_stage_attribution():
+    document = _report().to_dict()
+    document["scenarios"][0]["self"]["stage_us"] = {
+        name: 0.0 for name in ("classify", "ft")
+    }
+    assert any("attributes no time" in p for p in validate_bench(document))
+    document["scenarios"][0]["self"]["stage_us"] = {"bogus_stage": 1.0}
+    assert any("unknown stages" in p for p in validate_bench(document))
+
+
+def test_save_refuses_invalid_report(tmp_path):
+    report = _report()
+    report.scenarios[0].metrics.pop("lost")
+    with pytest.raises(ValueError, match="lost"):
+        report.save(str(tmp_path / "BENCH_0.json"))
+
+
+def test_next_bench_path_numbering(tmp_path):
+    assert next_bench_path(str(tmp_path)).endswith("BENCH_0.json")
+    (tmp_path / "BENCH_0.json").write_text("{}")
+    (tmp_path / "BENCH_3.json").write_text("{}")
+    (tmp_path / "BENCH_junk.json").write_text("{}")  # ignored
+    assert next_bench_path(str(tmp_path)).endswith("BENCH_4.json")
