@@ -13,6 +13,12 @@ truth for what ``python -m repro bench`` runs:
   data-center chains, compiled from policies, data-center size mix;
 * ``ablation_op1_full_copy`` / ``ablation_op2_header_copy`` -- the §4.2
   copy-operation ablations (full vs header-only copies, degree 2);
+* ``scale_ids_x{1..4}`` -- the §7 scale-out sweep: one heavy IDS,
+  1-4 RSS-split instances, throughput scaling with the instance count;
+* ``fig13_ns_x2_cache_off`` / ``fig13_ns_x2_cache_on`` -- the
+  north-south chain at 2 instances/NF without and with the classifier
+  flow cache (same seed, so the classify-stage attribution delta is the
+  cache's doing);
 * ``fuzz_corpus_replay`` -- the committed differential-fuzz corpus
   replayed through all three planes, as a throughput workload.
 
@@ -77,12 +83,18 @@ class BenchmarkSpec:
 
 def _counter_extras(hub: TelemetryHub) -> Dict:
     registry = hub.registry
-    return {
+    extras = {
         "copies_full": registry.counter_value("copy.full"),
         "copies_header": registry.counter_value("copy.header"),
         "ring_hops": registry.counter_value("ring.hops"),
         "merged": registry.counter_value("merger.merged"),
     }
+    hits = registry.counter_value("classifier.cache_hit")
+    misses = registry.counter_value("classifier.cache_miss")
+    if hits or misses:
+        extras["cache_hits"] = hits
+        extras["cache_misses"] = misses
+    return extras
 
 
 def _measured(
@@ -90,6 +102,8 @@ def _measured(
     extra_cycles: int = 0,
     sizes=None,
     label: str = "",
+    instances=None,
+    flow_cache: bool = False,
 ) -> Callable[[int, int], SpecOutcome]:
     """Build a runner around :func:`measure_nfp` with span collection."""
 
@@ -102,13 +116,22 @@ def _measured(
             kwargs["sizes"] = sizes
         if label:
             kwargs["label"] = label
+        if instances is not None:
+            kwargs["instances"] = instances
+        if flow_cache:
+            kwargs["flow_cache"] = True
         result = measure_nfp(target_factory(), **kwargs)
+        params = {"packets": packets, "seed": seed,
+                  "extra_cycles": extra_cycles}
+        if instances is not None:
+            params["instances"] = instances
+        if flow_cache:
+            params["flow_cache"] = True
         return SpecOutcome(
             measurement=measurement_to_dict(result),
             rollup=stage_rollup(tracer.events),
             extra_metrics=_counter_extras(hub),
-            params={"packets": packets, "seed": seed,
-                    "extra_cycles": extra_cycles},
+            params=params,
         )
 
     return run
@@ -299,6 +322,35 @@ def _build_registry() -> Dict[str, BenchmarkSpec]:
                                     header_only=True),
             extra_cycles=CHAIN_BUSY_CYCLES, sizes=FIXED_512B,
         ),
+    ))
+    for count in (1, 2, 3, 4):
+        specs.append(BenchmarkSpec(
+            name=f"scale_ids_x{count}",
+            description=(f"§7 scale-out sweep: single IDS chain, "
+                         f"{count} instance(s), RSS flow-split"),
+            quick=count != 3,
+            runner=_measured(
+                lambda: forced_sequential(["ids"]),
+                instances=count if count > 1 else None,
+                label=f"ids x{count}",
+            ),
+        ))
+    specs.append(BenchmarkSpec(
+        name="fig13_ns_x2_cache_off",
+        description="north-south chain, 2 instances/NF, flow cache off",
+        quick=True,
+        runner=_measured(_compiled_chain(NORTH_SOUTH_CHAIN),
+                         sizes=DATACENTER_MIX, instances=2,
+                         label="north-south x2 cache-off"),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig13_ns_x2_cache_on",
+        description="north-south chain, 2 instances/NF, classifier flow "
+                    "cache on (memoized CT+FT decision per flow)",
+        quick=True,
+        runner=_measured(_compiled_chain(NORTH_SOUTH_CHAIN),
+                         sizes=DATACENTER_MIX, instances=2, flow_cache=True,
+                         label="north-south x2 cache-on"),
     ))
     specs.append(BenchmarkSpec(
         name="fuzz_corpus_replay",

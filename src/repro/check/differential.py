@@ -50,7 +50,11 @@ from ..core.dependency import (
 from ..core.graph import ORIGINAL_VERSION
 from ..core.orchestrator import Orchestrator
 from ..core.policy import Policy, Position
-from ..dataplane.functional import FunctionalDataplane, SequentialReference
+from ..dataplane.functional import (
+    FunctionalDataplane,
+    SequentialBank,
+    SequentialReference,
+)
 from ..dataplane.server import NFPServer
 from ..nfs.base import create_nf
 from ..sim import DEFAULT_PARAMS, Environment
@@ -80,6 +84,8 @@ class CaseOutcome:
     graph_desc: str = ""
     reference: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: uniform §7 instance count the case ran with (1 = unscaled).
+    instances: int = 1
 
     def __str__(self) -> str:
         status = "OK" if self.ok else f"FAIL({self.kind})"
@@ -238,11 +244,14 @@ def _run_des(
     orch: Orchestrator,
     policy: Policy,
     telemetry: TelemetryHub = NULL_HUB,
+    instances: int = 1,
+    flow_cache: bool = False,
 ) -> Tuple[Dict[int, Optional[bytes]], int, Optional[str]]:
     """Run the timed dataplane; returns (outputs, lost, meta_error)."""
-    deployed = orch.deploy(policy)
+    deployed = orch.deploy(policy, scale=instances if instances > 1 else None)
     env = Environment(track_stats=telemetry.enabled)
-    server = NFPServer(env, DEFAULT_PARAMS, telemetry=telemetry)
+    server = NFPServer(env, DEFAULT_PARAMS, telemetry=telemetry,
+                       flow_cache_size=4096 if flow_cache else 0)
     server.keep_packets = True
     server.deploy(deployed)
     packets = case.build_packets()
@@ -275,8 +284,25 @@ def run_case(
     case: FuzzCase,
     include_des: bool = True,
     telemetry: TelemetryHub = NULL_HUB,
+    instances: int = 1,
+    flow_cache: Optional[bool] = None,
 ) -> CaseOutcome:
-    """Run one differential case end to end."""
+    """Run one differential case end to end.
+
+    ``instances > 1`` runs the §7 scale-out axis: every NF is replicated
+    uniformly, and the sequential oracle becomes a
+    :class:`~repro.dataplane.functional.SequentialBank` -- N independent
+    sequential chains behind the same RSS split -- because replication
+    partitions cross-flow NF state (NAT port allocation order, the VPN
+    sequence counter), so a single shared chain is *not* byte-equivalent
+    to a scaled deployment by construction.  ``flow_cache`` controls the
+    DES classifier cache (default: on exactly when scaled, so both the
+    cached and uncached classify paths see fuzz coverage).
+    """
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    if flow_cache is None:
+        flow_cache = instances > 1
     started = time.monotonic()
 
     def finish(outcome: CaseOutcome) -> CaseOutcome:
@@ -310,15 +336,23 @@ def run_case(
             packets=len(case.packets), graph_desc=graph.describe()))
 
     kinds = case.kinds()
-    sequential = SequentialReference(
-        [create_nf(kinds[name], name=f"seq.{name}") for name in order]
-    )
+    if instances == 1:
+        sequential = SequentialReference(
+            [create_nf(kinds[name], name=f"seq.{name}") for name in order]
+        )
+    else:
+        sequential = SequentialBank(
+            lambda k: [create_nf(kinds[name], name=f"seq{k}.{name}")
+                       for name in order],
+            instances,
+        )
     seq_out: Dict[int, Optional[bytes]] = {}
     for spec in case.packets:
         out = sequential.process(spec.build())
         seq_out[spec.ident] = None if out is None else bytes(out.buf)
 
-    functional = FunctionalDataplane(graph)
+    functional = FunctionalDataplane(
+        graph, scale=instances if instances > 1 else None)
     func_out: Dict[int, Optional[bytes]] = {}
     for spec in case.packets:
         out = functional.process(spec.build())
@@ -336,7 +370,7 @@ def run_case(
     base = dict(
         case=case, packets=len(case.packets), matched=matched,
         agreed_drops=agreed_drops, graph_desc=graph.describe(),
-        reference=order,
+        reference=order, instances=instances,
     )
 
     divergence = _first_divergence(case, func_out, seq_out)
@@ -347,8 +381,9 @@ def run_case(
             mismatched_idents=mismatched, **base))
 
     if include_des:
-        des_out, lost, meta_error = _run_des(case, orch, policy,
-                                             telemetry=telemetry)
+        des_out, lost, meta_error = _run_des(
+            case, orch, policy, telemetry=telemetry,
+            instances=instances, flow_cache=flow_cache)
         if lost:
             return finish(CaseOutcome(
                 ok=False, kind="des-loss",

@@ -73,8 +73,15 @@ def run_fuzz(
     stop_after: int = 3,
     shrink: bool = True,
     log: Optional[Callable[[str], None]] = None,
+    instances: int = 1,
 ) -> FuzzReport:
-    """Run a seeded fuzzing session under a case/time budget."""
+    """Run a seeded fuzzing session under a case/time budget.
+
+    ``instances > 1`` fuzzes the §7 scale-out axis: every case runs all
+    three planes with each NF uniformly replicated, the sequential
+    oracle partitioned into per-instance banks, and the DES classifier
+    flow cache enabled (see :func:`repro.check.differential.run_case`).
+    """
     tweaks = [ProfileTweak.parse(spec) for spec in inject]
     generator = CaseGenerator(
         seed=seed, max_nfs=max_nfs, packets_per_case=packets_per_case,
@@ -90,7 +97,8 @@ def run_fuzz(
                     f"after {report.cases} cases")
             break
         case = generator.generate(index)
-        outcome = run_case(case, include_des=include_des, telemetry=telemetry)
+        outcome = run_case(case, include_des=include_des, telemetry=telemetry,
+                           instances=instances)
         telemetry.inc("fuzz.cases")
         report.cases += 1
         report.packets += outcome.packets
@@ -102,12 +110,14 @@ def run_fuzz(
             log(f"case {index}: {outcome.kind} -- {outcome.detail}")
         if shrink:
             failure.shrunk = shrink_case(
-                case, include_des=include_des, telemetry=telemetry)
+                case, include_des=include_des, telemetry=telemetry,
+                instances=instances)
             if log:
                 log(f"case {index}: {failure.shrunk.summary()}")
             if out_dir:
                 failure.json_path, failure.test_path = write_repro(
-                    failure.shrunk, out_dir, include_des=include_des)
+                    failure.shrunk, out_dir, include_des=include_des,
+                    instances=instances)
                 if log:
                     log(f"case {index}: repro written to {failure.json_path} "
                         f"and {failure.test_path}")
@@ -126,12 +136,14 @@ def replay_corpus(
     corpus_dir: str,
     include_des: bool = True,
     telemetry: TelemetryHub = NULL_HUB,
+    instances: int = 1,
 ) -> List[Tuple[str, CaseOutcome]]:
     """Re-run every ``*.json`` seed in ``corpus_dir`` (sorted, stable)."""
     results: List[Tuple[str, CaseOutcome]] = []
     for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
         case = FuzzCase.load(path)
-        outcome = run_case(case, include_des=include_des, telemetry=telemetry)
+        outcome = run_case(case, include_des=include_des, telemetry=telemetry,
+                           instances=instances)
         telemetry.inc("fuzz.cases")
         results.append((path, outcome))
     return results

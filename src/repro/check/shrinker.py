@@ -58,9 +58,10 @@ def shrink_case(
     include_des: bool = True,
     max_runs: int = 400,
     telemetry: TelemetryHub = NULL_HUB,
+    instances: int = 1,
 ) -> ShrinkResult:
     """Minimize ``case`` while it keeps failing with the same kind."""
-    baseline = run_case(case, include_des=include_des)
+    baseline = run_case(case, include_des=include_des, instances=instances)
     if baseline.ok:
         raise ValueError("shrink_case needs a failing case")
     kind = baseline.kind
@@ -77,7 +78,8 @@ def shrink_case(
         state["runs"] += 1
         telemetry.inc("fuzz.shrink_steps")
         try:
-            outcome = run_case(candidate, include_des=probe_des)
+            outcome = run_case(candidate, include_des=probe_des,
+                               instances=instances)
         except Exception:
             return False
         if not outcome.ok and outcome.kind == kind:
@@ -93,10 +95,11 @@ def shrink_case(
     final_case = replace(
         state["best"], case_id=f"{case.case_id}-min") \
         if state["best"] is not case else case
-    final = run_case(final_case, include_des=include_des)
+    final = run_case(final_case, include_des=include_des, instances=instances)
     if final.ok or final.kind != kind:  # paranoid re-check with full planes
         final_case = replace(case, case_id=f"{case.case_id}-min")
-        final = run_case(final_case, include_des=include_des)
+        final = run_case(final_case, include_des=include_des,
+                         instances=instances)
     return ShrinkResult(
         case=final_case,
         outcome=final,
@@ -204,7 +207,8 @@ CASE_JSON = r"""
 
 
 def test_repro_{digest}():
-    outcome = run_case(FuzzCase.from_json(CASE_JSON), include_des={include_des})
+    outcome = run_case(FuzzCase.from_json(CASE_JSON), include_des={include_des},
+                       instances={instances})
     assert outcome.ok, f"{{outcome.kind}}: {{outcome.detail}}"
 '''
 
@@ -213,6 +217,7 @@ def write_repro(
     result: ShrinkResult,
     out_dir: str,
     include_des: bool = True,
+    instances: int = 1,
 ) -> Tuple[str, str]:
     """Write the JSON seed + pytest repro; returns both paths."""
     os.makedirs(out_dir, exist_ok=True)
@@ -230,5 +235,6 @@ def write_repro(
             case_json=case_json,
             digest=digest,
             include_des=include_des,
+            instances=instances,
         ))
     return json_path, test_path

@@ -101,15 +101,19 @@ def cmd_measure(args) -> int:
     rows = []
     results = []
     hub = TelemetryHub() if args.telemetry else None
+    scale_out = args.instances if args.instances > 1 else None
     systems = args.systems.split(",")
     for system in systems:
         system = system.strip().lower()
         if system == "nfp":
             graph = Orchestrator().compile(Policy.from_chain(chain)).graph
-            result = measure_nfp(graph, packets=args.packets, telemetry=hub)
+            result = measure_nfp(graph, packets=args.packets, telemetry=hub,
+                                 instances=scale_out,
+                                 flow_cache=args.flow_cache)
         elif system == "nfp-seq":
             result = measure_nfp(forced_sequential(chain), packets=args.packets,
-                                 telemetry=hub)
+                                 telemetry=hub, instances=scale_out,
+                                 flow_cache=args.flow_cache)
         elif system == "onvm":
             result = measure_onvm(chain, packets=args.packets)
         elif system == "bess":
@@ -186,10 +190,12 @@ def cmd_fuzz(args) -> int:
 
     hub = TelemetryHub()
     include_des = not args.no_des
+    if args.instances < 1:
+        raise SystemExit("--instances must be >= 1")
 
     if args.replay:
         results = replay_corpus(args.replay, include_des=include_des,
-                                telemetry=hub)
+                                telemetry=hub, instances=args.instances)
         failures = 0
         for path, outcome in results:
             status = "ok" if outcome.ok else f"FAIL {outcome.kind}"
@@ -213,6 +219,7 @@ def cmd_fuzz(args) -> int:
         stop_after=args.stop_after,
         shrink=not args.no_shrink,
         log=lambda line: print(f"  {line}"),
+        instances=args.instances,
     )
 
     counters = hub.registry
@@ -404,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument("--packets", type=int, default=2000)
     p_measure.add_argument("--telemetry", action="store_true",
                            help="collect and print per-NF metrics (NFP runs)")
+    p_measure.add_argument("--instances", type=int, default=1,
+                           help="replicate every NF this many times with RSS "
+                                "flow-split (§7 scale-out; NFP runs only)")
+    p_measure.add_argument("--flow-cache", action="store_true",
+                           help="enable the classifier per-flow decision "
+                                "cache (NFP runs only)")
     p_measure.add_argument("--json", action="store_true",
                            help="dump results as JSON instead of a table")
     p_measure.set_defaults(func=cmd_measure)
@@ -459,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max NF instances per policy (default 5)")
     p_fuzz.add_argument("--no-des", action="store_true",
                         help="skip the timed DES plane (faster)")
+    p_fuzz.add_argument("--instances", type=int, default=1,
+                        help="replicate every NF this many times (§7 "
+                             "scale-out axis; sequential oracle becomes a "
+                             "bank of per-instance chains)")
     p_fuzz.add_argument("--inject-bug", action="append", metavar="SPEC",
                         help="perturb a profile, e.g. "
                              "hidden-write:loadbalancer:DIP, "

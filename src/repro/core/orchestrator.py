@@ -24,6 +24,7 @@ from .dependency import DEFAULT_DEPENDENCY_TABLE, DependencyTable
 from .inspector import inspect_nf
 from .policy import Policy
 from .policy_dsl import parse_policy
+from .scaling import ScaledGraph, ScalePlan, plan_scale_out, scale_graph
 from .tables import TableSet, build_tables
 
 __all__ = ["Orchestrator", "DeployedGraph"]
@@ -32,19 +33,43 @@ _MAX_MID = (1 << 20) - 1
 
 
 class DeployedGraph:
-    """A compiled graph bound to a MID with its generated tables."""
+    """A compiled graph bound to a MID with its generated tables.
 
-    def __init__(self, mid: int, result: CompilationResult, tables: TableSet):
+    ``scaled`` (optional) is the §7 scale-out artifact: the same graph
+    with per-NF instance counts and fresh instance IDs; dataplanes that
+    deploy this object spin up one runtime per instance and RSS-split
+    flows across them.
+    """
+
+    def __init__(
+        self,
+        mid: int,
+        result: CompilationResult,
+        tables: TableSet,
+        scaled: Optional[ScaledGraph] = None,
+        plan: Optional[ScalePlan] = None,
+    ):
         self.mid = mid
         self.result = result
         self.tables = tables
+        self.scaled = scaled
+        #: The sizing plan this deployment executes, when it came from one.
+        self.plan = plan
 
     @property
     def graph(self):
         return self.result.graph
 
+    @property
+    def scale(self) -> Dict[str, int]:
+        """NF name -> instance count (empty when unscaled)."""
+        if self.scaled is None:
+            return {}
+        return dict(self.scaled.counts)
+
     def __repr__(self) -> str:
-        return f"DeployedGraph(mid={self.mid}, {self.graph.describe()!r})"
+        desc = self.scaled.describe() if self.scaled else self.graph.describe()
+        return f"DeployedGraph(mid={self.mid}, {desc!r})"
 
 
 class Orchestrator:
@@ -81,15 +106,56 @@ class Orchestrator:
         return self.compiler.compile(policy)
 
     def deploy(
-        self, policy: Union[Policy, str], match: object = "*"
+        self,
+        policy: Union[Policy, str],
+        match: object = "*",
+        scale: Union[int, ScalePlan, Dict[str, int], None] = None,
     ) -> DeployedGraph:
-        """Compile a policy, allocate a MID, and build its tables."""
+        """Compile a policy, allocate a MID, and build its tables.
+
+        ``scale`` turns the deployment into a §7 scale-out: a uniform
+        instance count, an explicit name -> count mapping, or a
+        :class:`~repro.core.scaling.ScalePlan` straight from
+        :func:`~repro.core.scaling.plan_scale_out`.
+        """
         result = self.compile(policy)
         mid = self._allocate_mid()
         tables = build_tables(result.graph, mid, match=match)
-        deployed = DeployedGraph(mid, result, tables)
+        scaled = None
+        plan = None
+        if scale is not None:
+            scaled = scale_graph(result.graph, scale)
+            if isinstance(scale, ScalePlan):
+                plan = scale
+        deployed = DeployedGraph(mid, result, tables, scaled=scaled, plan=plan)
         self._deployed[mid] = deployed
         return deployed
+
+    def deploy_scaled(
+        self,
+        policy: Union[Policy, str],
+        target_mpps: float,
+        params,
+        match: object = "*",
+        packet_size: int = 64,
+        available_cores: Optional[int] = None,
+        num_mergers: int = 1,
+    ) -> DeployedGraph:
+        """Compile, size with :func:`plan_scale_out`, and deploy scaled.
+
+        The returned deployment carries both the executable
+        :class:`ScaledGraph` and the sizing :class:`ScalePlan` (as
+        ``.plan``), so callers can pass ``plan.merger_count`` when
+        building the server.
+        """
+        if isinstance(policy, str):
+            policy = parse_policy(policy)
+        graph = self.compile(policy).graph
+        plan = plan_scale_out(
+            graph, params, target_mpps, packet_size=packet_size,
+            available_cores=available_cores, num_mergers=num_mergers,
+        )
+        return self.deploy(policy, match=match, scale=plan)
 
     def undeploy(self, mid: int) -> None:
         if mid not in self._deployed:

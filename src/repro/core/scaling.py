@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
 from ..sim.params import SimParams
 from .graph import ServiceGraph
 
-__all__ = ["ScalePlan", "plan_scale_out"]
+__all__ = ["ScalePlan", "ScaledGraph", "plan_scale_out", "scale_graph"]
 
 
 @dataclass
@@ -47,6 +47,21 @@ class ScalePlan:
 
     def scaled_components(self) -> List[str]:
         return sorted(n for n, count in self.instances.items() if count > 1)
+
+    @property
+    def merger_count(self) -> int:
+        """How many merger instances the plan sized (>= 1)."""
+        return max(1, self.instances.get("merger", 1))
+
+    def nf_counts(self, graph: ServiceGraph) -> Dict[str, int]:
+        """The plan's instance counts restricted to the graph's NFs.
+
+        The plan also sizes the classifier and merger pool; those are
+        not NF runtimes, so executing the plan needs just this slice
+        (the merger count rides separately via :attr:`merger_count`).
+        """
+        return {name: max(1, self.instances.get(name, 1))
+                for name in graph.nf_names()}
 
     def __str__(self) -> str:
         status = "feasible" if self.feasible else f"limited by {self.limiting}"
@@ -127,3 +142,80 @@ def plan_scale_out(
             ),
         )
     return plan
+
+
+class ScaledGraph:
+    """A service graph plus executable instance counts (§7).
+
+    "NFP can support NF scaling inside one server by allocating
+    remaining CPU cores to new NF instances with new IDs" -- this is
+    that artifact: the compiled graph unchanged, each NF annotated with
+    an instance count, and every replicated instance given a fresh
+    instance ID and a stable label (``name#k``) that both dataplanes
+    and telemetry use.  Flows are pinned to one instance per NF by the
+    shared RSS split (:mod:`repro.dataplane.flowsplit`), which is what
+    preserves per-flow order across the scale-out.
+    """
+
+    __slots__ = ("base", "counts", "instance_ids")
+
+    def __init__(self, base: ServiceGraph, counts: Mapping[str, int]):
+        names = base.nf_names()
+        unknown = sorted(set(counts) - set(names))
+        if unknown:
+            raise ValueError(f"scale names not in graph: {unknown}")
+        self.base = base
+        self.counts: Dict[str, int] = {}
+        for name in names:
+            count = int(counts.get(name, 1))
+            if count < 1:
+                raise ValueError(f"scale for {name!r} must be >= 1")
+            self.counts[name] = count
+        #: New IDs per instance, allocated densely in graph order.
+        self.instance_ids: Dict[str, int] = {}
+        next_id = 1
+        for name in names:
+            for label in self.labels(name):
+                self.instance_ids[label] = next_id
+                next_id += 1
+
+    def labels(self, name: str) -> List[str]:
+        """Instance labels for one NF: ``[name]`` or ``[name#0, ...]``."""
+        count = self.counts[name]
+        if count == 1:
+            return [name]
+        return [f"{name}#{k}" for k in range(count)]
+
+    @property
+    def total_instances(self) -> int:
+        return sum(self.counts.values())
+
+    def scaled_names(self) -> List[str]:
+        return sorted(n for n, c in self.counts.items() if c > 1)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{name}x{count}" for name, count in self.counts.items())
+        return f"{self.base.describe()} scaled[{parts}]"
+
+    def __repr__(self) -> str:
+        return f"ScaledGraph({self.describe()!r})"
+
+
+def scale_graph(
+    graph: ServiceGraph,
+    scale: Union[int, ScalePlan, Mapping[str, int]],
+) -> ScaledGraph:
+    """Normalise any scale spec into an executable :class:`ScaledGraph`.
+
+    Accepts a uniform instance count (int), a :class:`ScalePlan` (its
+    NF slice is taken; classifier/merger sizing is ignored here), or an
+    explicit name -> count mapping.
+    """
+    if isinstance(scale, ScalePlan):
+        return ScaledGraph(graph, scale.nf_counts(graph))
+    if isinstance(scale, int):
+        if scale < 1:
+            raise ValueError("uniform scale must be >= 1")
+        return ScaledGraph(graph, {name: scale for name in graph.nf_names()})
+    return ScaledGraph(graph, scale)

@@ -9,14 +9,34 @@ Two executors share the same NF objects and merge code:
 """
 
 from .chaining import ChainingManager
-from .functional import FunctionalDataplane, SequentialReference, instantiate_nfs
+from .flowsplit import (
+    FlowCache,
+    FlowDecision,
+    assign_instances,
+    flow_key,
+    rss_hash,
+    rss_instance,
+)
+from .functional import (
+    FunctionalDataplane,
+    SequentialBank,
+    SequentialReference,
+    instantiate_nfs,
+)
 from .merging import MergeError, apply_merge_ops
 from .server import FlightState, NFPServer
 from .xor_merger import XorMergeError, XorMerger
 
 __all__ = [
     "ChainingManager",
+    "FlowCache",
+    "FlowDecision",
+    "assign_instances",
+    "flow_key",
+    "rss_hash",
+    "rss_instance",
     "FunctionalDataplane",
+    "SequentialBank",
     "SequentialReference",
     "instantiate_nfs",
     "apply_merge_ops",

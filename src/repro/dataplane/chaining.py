@@ -8,7 +8,7 @@ look up total counts and MOs by MID.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.graph import ServiceGraph
 from ..core.tables import ClassificationTable, CTEntry, FTAction, TableSet
@@ -23,12 +23,22 @@ class ChainingManager:
         self.classification = ClassificationTable()
         self._graphs: Dict[int, ServiceGraph] = {}
         self._forwarding: Dict[int, Dict[str, List[FTAction]]] = {}
+        #: Called after every table (re)install; the classifier's flow
+        #: cache registers here so no stale per-flow decision survives a
+        #: graph recompile.
+        self._install_listeners: List[Callable[[], None]] = []
+
+    def on_install(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after each table (re)install."""
+        self._install_listeners.append(listener)
 
     def install(self, tables: TableSet) -> None:
         """Install a deployed graph's tables (classifier + runtimes)."""
         self.classification.install(tables.ct_entry)
         self._graphs[tables.mid] = tables.graph
         self._forwarding[tables.mid] = tables.forwarding
+        for listener in self._install_listeners:
+            listener()
 
     def graph_for(self, mid: int) -> ServiceGraph:
         try:

@@ -1,0 +1,162 @@
+"""RSS flow-splitting and the classifier flow cache (§7 scale-out).
+
+When a service graph is scaled out, flows must be pinned to exactly one
+instance of every replicated NF so per-flow NF state stays local and
+per-flow packet order is preserved -- the same guarantee hardware RSS
+gives a multi-queue NIC.  Every execution plane (the timed DES server,
+the functional dataplane, and the scaled sequential reference bank used
+by differential testing) routes through the *same* hash in this module,
+so flow -> instance assignments agree across planes by construction.
+
+Two layers:
+
+* :func:`flow_key` / :func:`rss_instance` -- the split itself.  Only
+  unfragmented IPv4 TCP/UDP packets have a meaningful 5-tuple; anything
+  else (ICMP, fragments, non-IP) deterministically lands on instance 0,
+  which keeps such traffic ordered without pretending it has flow
+  affinity.
+* :class:`FlowCache` -- an LRU memo of the classifier's per-flow work
+  (CT match, graph, instance assignment).  The first packet of a flow
+  pays the full CT lookup + tagging cost; subsequent packets hit the
+  cache and pay ``classifier_cache_hit_us``.  The cache is invalidated
+  wholesale whenever tables are (re)installed, so a recompiled graph can
+  never be reached through a stale decision.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.graph import ServiceGraph
+from ..core.tables import CTEntry
+from ..net.headers import PROTO_TCP, PROTO_UDP
+from ..net.packet import Packet
+
+__all__ = [
+    "rss_hash",
+    "rss_instance",
+    "flow_key",
+    "assign_instances",
+    "FlowDecision",
+    "FlowCache",
+]
+
+#: Shared immutable assignment for graphs with no replicated NFs.
+_NO_ASSIGNMENT: Dict[str, int] = {}
+
+
+def rss_hash(five_tuple: tuple) -> int:
+    """The RSS hash over a 5-tuple -- crc32, as commodity NICs use."""
+    return zlib.crc32(repr(five_tuple).encode())
+
+
+def rss_instance(key: Optional[tuple], count: int) -> int:
+    """Instance index for a flow key among ``count`` instances.
+
+    ``None`` keys (no meaningful 5-tuple) pin to instance 0 so that
+    ICMP/fragment traffic stays ordered on a single instance.
+    """
+    if count <= 1 or key is None:
+        return 0
+    return rss_hash(key) % count
+
+
+def flow_key(pkt: Packet) -> Optional[tuple]:
+    """The RSS/flow-cache key for a packet, or ``None`` when it has none.
+
+    Only unfragmented IPv4 TCP/UDP packets key by 5-tuple; ICMP (and
+    any other protocol), IP fragments, nil packets and non-IP frames
+    return ``None`` -- they bypass the flow cache and pin to instance 0.
+    """
+    if pkt.nil:
+        return None
+    try:
+        ip = pkt.ipv4
+        if ip.is_fragment:
+            return None
+        if pkt.l4_protocol not in (PROTO_TCP, PROTO_UDP):
+            return None
+        return pkt.five_tuple()
+    except ValueError:
+        return None
+
+
+def assign_instances(
+    key: Optional[tuple], counts: Mapping[str, int]
+) -> Dict[str, int]:
+    """Per-NF instance assignment for one flow.
+
+    ``counts`` maps NF names to instance counts; only replicated NFs
+    (count > 1) get an entry -- everything else implicitly reads 0.
+    """
+    scaled = {name: c for name, c in counts.items() if c > 1}
+    if not scaled:
+        return _NO_ASSIGNMENT
+    return {name: rss_instance(key, count) for name, count in scaled.items()}
+
+
+@dataclass
+class FlowDecision:
+    """The memoized classifier verdict for one flow."""
+
+    ct_entry: CTEntry
+    graph: ServiceGraph
+    assignment: Dict[str, int]
+
+
+class FlowCache:
+    """LRU cache of :class:`FlowDecision` keyed by 5-tuple.
+
+    Plain-integer counters mirror what the server reports through
+    telemetry, so the cache is observable even without a hub attached.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("flow cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, FlowDecision]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple) -> Optional[FlowDecision]:
+        decision = self._entries.get(key)
+        if decision is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return decision
+
+    def put(self, key: tuple, decision: FlowDecision) -> bool:
+        """Insert a decision; returns True when an LRU entry was evicted."""
+        evicted = False
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            evicted = True
+        self._entries[key] = decision
+        self._entries.move_to_end(key)
+        return evicted
+
+    def invalidate(self) -> None:
+        """Drop every cached decision (tables were (re)installed)."""
+        self._entries.clear()
+        self.invalidations += 1
+
+    def keys(self) -> Tuple[tuple, ...]:
+        """Cached flow keys, LRU first (for tests/telemetry)."""
+        return tuple(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowCache({len(self)}/{self.capacity}, hits={self.hits}, "
+                f"misses={self.misses}, evictions={self.evictions})")

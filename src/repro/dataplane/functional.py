@@ -11,31 +11,77 @@ replay experiment).
 The timed DES dataplane (:mod:`repro.dataplane.server`) shares the same
 NF objects and merge code; this module is the semantics, that one adds
 queueing and service times.
+
+Scaled graphs (§7) execute here too: pass ``scale`` (a uniform int or a
+name -> count mapping) and each replicated NF gets per-instance objects
+(``name#k``); every packet is routed to its flow's instance through the
+same RSS split the DES server uses
+(:mod:`repro.dataplane.flowsplit`), so NF state partitions identically
+across planes.  :class:`SequentialBank` is the matching sequential
+ground truth: N independent sequential chains fed by the same split.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.graph import ORIGINAL_VERSION, ServiceGraph
 from ..net.packet import HEADER_COPY_BYTES, Packet
 from ..nfs.base import NetworkFunction
+from .flowsplit import assign_instances, flow_key, rss_instance
 from .merging import apply_merge_ops
 
-__all__ = ["FunctionalDataplane", "SequentialReference", "instantiate_nfs"]
+__all__ = [
+    "FunctionalDataplane",
+    "SequentialReference",
+    "SequentialBank",
+    "instantiate_nfs",
+]
 
 
-def instantiate_nfs(graph: ServiceGraph, **kwargs) -> Dict[str, NetworkFunction]:
-    """Create one NF object per graph node, keyed by instance name.
+def _normalize_scale(
+    graph: ServiceGraph, scale: Union[int, Mapping[str, int], None]
+) -> Dict[str, int]:
+    names = graph.nf_names()
+    if scale is None:
+        return {name: 1 for name in names}
+    if isinstance(scale, int):
+        if scale < 1:
+            raise ValueError("uniform scale must be >= 1")
+        return {name: scale for name in names}
+    counts = {}
+    for name in names:
+        count = int(scale.get(name, 1))
+        if count < 1:
+            raise ValueError(f"scale for {name!r} must be >= 1")
+        counts[name] = count
+    return counts
 
-    Extra kwargs are forwarded to every constructor that accepts them
-    (commonly none are needed; tests pass custom tables).
+
+def instantiate_nfs(
+    graph: ServiceGraph,
+    scale: Union[int, Mapping[str, int], None] = None,
+    **kwargs,
+) -> Dict[str, NetworkFunction]:
+    """Create NF objects per graph node, keyed by instance label.
+
+    Unscaled nodes key by their plain name; replicated nodes get one
+    object per instance under ``name#k`` labels (the same labels the
+    DES server and telemetry use).  Extra kwargs are forwarded to every
+    constructor.
     """
     from ..nfs.base import create_nf
 
+    counts = _normalize_scale(graph, scale)
     instances: Dict[str, NetworkFunction] = {}
     for node in graph.nodes():
-        instances[node.name] = create_nf(node.kind, name=node.name, **kwargs)
+        count = counts[node.name]
+        if count == 1:
+            instances[node.name] = create_nf(node.kind, name=node.name, **kwargs)
+        else:
+            for k in range(count):
+                label = f"{node.name}#{k}"
+                instances[label] = create_nf(node.kind, name=label, **kwargs)
     return instances
 
 
@@ -46,19 +92,42 @@ class FunctionalDataplane:
         self,
         graph: ServiceGraph,
         nf_instances: Optional[Dict[str, NetworkFunction]] = None,
+        scale: Union[int, Mapping[str, int], None] = None,
     ):
         self.graph = graph
-        self.nfs = nf_instances or instantiate_nfs(graph)
-        missing = [n for n in graph.nf_names() if n not in self.nfs]
+        self.scale = _normalize_scale(graph, scale)
+        self._scaled = {n: c for n, c in self.scale.items() if c > 1}
+        self.nfs = nf_instances or instantiate_nfs(graph, scale=self.scale)
+        missing = [
+            label
+            for name in graph.nf_names()
+            for label in self._labels(name)
+            if label not in self.nfs
+        ]
         if missing:
             raise ValueError(f"no NF instances for graph nodes: {missing}")
         self.processed = 0
         self.emitted = 0
         self.dropped = 0
 
+    def _labels(self, name: str) -> List[str]:
+        count = self.scale[name]
+        if count == 1:
+            return [name]
+        return [f"{name}#{k}" for k in range(count)]
+
+    def _nf(self, name: str, assignment: Mapping[str, int]) -> NetworkFunction:
+        if self.scale[name] == 1:
+            return self.nfs[name]
+        return self.nfs[f"{name}#{assignment.get(name, 0)}"]
+
     def process(self, pkt: Packet) -> Optional[Packet]:
         """Run one packet through the graph; ``None`` means dropped."""
         self.processed += 1
+        assignment = (
+            assign_instances(flow_key(pkt), self._scaled)
+            if self._scaled else {}
+        )
         versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
 
         for stage_index, stage in enumerate(self.graph.stages):
@@ -83,7 +152,7 @@ class FunctionalDataplane:
                 buffer = versions[entry.version]
                 if buffer.nil:
                     continue
-                ctx = self.nfs[entry.node.name].handle(buffer)
+                ctx = self._nf(entry.node.name, assignment).handle(buffer)
                 if ctx.dropped:
                     newly_dropped.append(entry.version)
             for version in newly_dropped:
@@ -122,3 +191,50 @@ class SequentialReference:
 
     def process_many(self, packets: Iterable[Packet]) -> List[Optional[Packet]]:
         return [self.process(pkt) for pkt in packets]
+
+
+class SequentialBank:
+    """N independent sequential chains behind the shared RSS split.
+
+    The sound sequential oracle for a *scaled* parallel deployment: NFs
+    with cross-flow state (the NAT's arrival-order port allocator, the
+    VPN's global AH sequence counter) partition their state per
+    instance once a graph is scaled, so the reference must partition
+    identically.  ``chain_factory(bank_index)`` builds one fresh
+    sequential chain per bank; packets route by the same
+    :func:`~repro.dataplane.flowsplit.flow_key` / ``crc32`` split every
+    other plane uses.  With ``instances=1`` this degenerates to a plain
+    :class:`SequentialReference`.
+    """
+
+    def __init__(
+        self,
+        chain_factory: Callable[[int], Sequence[NetworkFunction]],
+        instances: int,
+    ):
+        if instances < 1:
+            raise ValueError("instances must be >= 1")
+        self.banks = [
+            SequentialReference(chain_factory(k)) for k in range(instances)
+        ]
+
+    def bank_for(self, pkt: Packet) -> int:
+        return rss_instance(flow_key(pkt), len(self.banks))
+
+    def process(self, pkt: Packet) -> Optional[Packet]:
+        return self.banks[self.bank_for(pkt)].process(pkt)
+
+    def process_many(self, packets: Iterable[Packet]) -> List[Optional[Packet]]:
+        return [self.process(pkt) for pkt in packets]
+
+    @property
+    def processed(self) -> int:
+        return sum(bank.processed for bank in self.banks)
+
+    @property
+    def emitted(self) -> int:
+        return sum(bank.emitted for bank in self.banks)
+
+    @property
+    def dropped(self) -> int:
+        return sum(bank.dropped for bank in self.banks)

@@ -33,8 +33,7 @@ Execution rules:
 
 from __future__ import annotations
 
-import zlib
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.graph import ORIGINAL_VERSION, ServiceGraph, StageEntry
 from ..core.orchestrator import DeployedGraph
@@ -45,20 +44,33 @@ from ..sim.stats import LatencyStats
 from ..telemetry.hooks import NULL_HUB, TelemetryHub
 from ..telemetry.tracer import SpanKind
 from .chaining import ChainingManager
+from .flowsplit import FlowCache, FlowDecision, assign_instances, flow_key
 from .merging import apply_merge_ops
 
 __all__ = ["NFPServer", "FlightState"]
 
+#: Shared empty assignment for packets of unscaled graphs.
+_NO_ASSIGNMENT: Dict[str, int] = {}
+
 
 class FlightState:
-    """Shared per-packet state: live versions, drops, stage barriers."""
+    """Shared per-packet state: versions, drops, barriers, instance pins.
 
-    __slots__ = ("versions", "dropped", "barriers")
+    ``assignment`` is the flow's RSS instance assignment (NF name ->
+    instance index), computed once at classification time and read by
+    every dispatch site -- so all copies/versions of one packet, and all
+    packets of one flow, land on the same instance of each scaled NF.
+    """
 
-    def __init__(self, pkt: Packet):
+    __slots__ = ("versions", "dropped", "barriers", "assignment")
+
+    def __init__(self, pkt: Packet, assignment: Optional[Mapping[str, int]] = None):
         self.versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
         self.dropped: Set[int] = set()
         self.barriers: Dict[Tuple[int, int], int] = {}
+        self.assignment: Mapping[str, int] = (
+            _NO_ASSIGNMENT if assignment is None else assignment
+        )
 
 
 class _NFRuntimeSim:
@@ -124,14 +136,15 @@ class _RuntimeGroup:
     def add(self, runtime: "_NFRuntimeSim") -> None:
         self.instances.append(runtime)
 
-    def rx_for(self, pkt: Packet) -> Ring:
+    @property
+    def count(self) -> int:
+        return len(self.instances)
+
+    def ring(self, index: int) -> Ring:
+        """The rx ring of one instance (index 0 for unscaled groups)."""
         if len(self.instances) == 1:
             return self.instances[0].rx
-        try:
-            key = zlib.crc32(repr(pkt.five_tuple()).encode())
-        except ValueError:
-            key = pkt.meta.pid if pkt.meta else pkt.uid
-        return self.instances[key % len(self.instances)].rx
+        return self.instances[index % len(self.instances)].rx
 
     @property
     def rx_packets(self) -> int:
@@ -235,6 +248,7 @@ class NFPServer:
         num_mergers: int = 1,
         nf_factory: Optional[Callable[[str, str], NetworkFunction]] = None,
         telemetry: Optional[TelemetryHub] = None,
+        flow_cache_size: int = 0,
     ):
         self.env = env
         self.params = params
@@ -242,6 +256,13 @@ class NFPServer:
         #: NFs; the disabled NULL_HUB by default (one branch per call site).
         self.telemetry = telemetry if telemetry is not None else NULL_HUB
         self.chaining = ChainingManager()
+        #: The classifier's LRU flow cache (``flow_cache_size`` > 0
+        #: enables it).  Off by default: the Table 4 calibration anchors
+        #: are stated for the uncached classifier path.
+        self.flow_cache: Optional[FlowCache] = None
+        if flow_cache_size > 0:
+            self.flow_cache = FlowCache(flow_cache_size)
+            self.chaining.on_install(self.flow_cache.invalidate)
         self.pool = PacketPool(capacity=1 << 16)
         self.nic_tx = Nic(env, params, name="tx")
 
@@ -256,8 +277,11 @@ class NFPServer:
         ]
 
         self._nf_factory = nf_factory or (lambda kind, name: create_nf(kind, name=name))
-        self.runtimes: Dict[str, _NFRuntimeSim] = {}
+        self.runtimes: Dict[str, _RuntimeGroup] = {}
         self.nfs: Dict[str, NetworkFunction] = {}
+        #: NF name -> instance count for replicated groups only (the
+        #: RSS assignment domain); empty on unscaled servers.
+        self._scaled_counts: Dict[str, int] = {}
 
         self._flight: Dict[Tuple[int, int], FlightState] = {}
         self._next_pid = 0
@@ -296,10 +320,14 @@ class NFPServer:
         """Install a deployed graph: tables plus runtime(s) per NF.
 
         ``scale`` maps NF names to instance counts (default 1); scaled
-        NFs get one pinned core per instance and flows are hash-split
-        across them (§7's in-server scaling).
+        NFs get one pinned core per instance and flows are RSS-split
+        across them (§7's in-server scaling).  When the deployment
+        itself carries a :class:`~repro.core.scaling.ScaledGraph` (the
+        orchestrator's ``deploy(scale=...)`` path), its counts are used
+        unless an explicit ``scale`` overrides them.
         """
-        scale = scale or {}
+        if scale is None:
+            scale = deployed.scale
         self.chaining.install(deployed.tables)
         graph = deployed.graph
         for stage_index, stage in enumerate(graph.stages):
@@ -323,6 +351,8 @@ class NFPServer:
                         self, nf, stage_index, entry, self._new_core(label)
                     ))
                 self.runtimes[name] = group
+                if count > 1:
+                    self._scaled_counts[name] = count
 
     # ------------------------------------------------------------ ingress
     def inject(self, pkt: Packet) -> None:
@@ -349,11 +379,31 @@ class NFPServer:
 
     def _classifier_loop(self):
         params = self.params
+        cache = self.flow_cache
+        hub = self.telemetry
         while True:
             first = yield self.ingress.get()
             batch = [first] + self.ingress.get_batch(params.batch_size - 1)
             work = []
             for pkt in batch:
+                key = self._flow_key(pkt)
+                decision = None
+                if cache is not None:
+                    if key is None:
+                        cache.bypasses += 1
+                        if hub.enabled:
+                            hub.inc("classifier.cache_bypass")
+                    else:
+                        decision = cache.get(key)
+                if decision is not None:
+                    # Hit: the memoized CT match + fan-out decision is
+                    # reused; only the hash + metadata stamp cost remains.
+                    if hub.enabled:
+                        hub.inc("classifier.cache_hit")
+                    yield self.core_execute_classifier(
+                        params.classifier_cache_hit_us)
+                    work.append((pkt, decision))
+                    continue
                 entry = self.chaining.classify(pkt.five_tuple())
                 if entry is None:
                     self.lost += 1
@@ -365,21 +415,43 @@ class NFPServer:
                     else params.classifier_fwd_us
                 )
                 yield self.core_execute_classifier(service)
-                work.append((pkt, entry, graph))
-            for pkt, entry, graph in work:
+                decision = FlowDecision(
+                    entry, graph, self._assignment_for(key))
+                if cache is not None and key is not None:
+                    if hub.enabled:
+                        hub.inc("classifier.cache_miss")
+                    if cache.put(key, decision) and hub.enabled:
+                        hub.inc("classifier.cache_evict")
+                work.append((pkt, decision))
+            for pkt, decision in work:
                 pkt.stamp("classified", self.env.now)
-                extra = self._classify_one(pkt, entry, graph)
+                extra = self._classify_one(pkt, decision)
                 if extra > 0:
                     yield self.core_execute_classifier(extra)
 
     def core_execute_classifier(self, duration: float):
         return self.classifier_core.execute(duration)
 
-    def _classify_one(self, pkt: Packet, ct_entry, graph: ServiceGraph) -> float:
+    def _flow_key(self, pkt: Packet) -> Optional[tuple]:
+        """The packet's RSS/flow-cache key; None when it has none.
+
+        Skipped entirely (returns None) when no NF group is replicated
+        and no flow cache is installed -- the unscaled fast path.
+        """
+        if self.flow_cache is None and not self._scaled_counts:
+            return None
+        return flow_key(pkt)
+
+    def _assignment_for(self, key: Optional[tuple]) -> Dict[str, int]:
+        """RSS instance assignment across all scaled runtime groups."""
+        return assign_instances(key, self._scaled_counts)
+
+    def _classify_one(self, pkt: Packet, decision: FlowDecision) -> float:
         """Tag metadata, run CT actions; returns extra core time spent."""
+        ct_entry, graph = decision.ct_entry, decision.graph
         pid = self._next_pid = (self._next_pid + 1) % (1 << 40)
         pkt.meta = PacketMeta(mid=ct_entry.mid, pid=pid, version=ORIGINAL_VERSION)
-        state = FlightState(pkt)
+        state = FlightState(pkt, assignment=decision.assignment)
         self._flight[(ct_entry.mid, pid)] = state
 
         hub = self.telemetry
@@ -400,9 +472,16 @@ class NFPServer:
         for version in sorted(stage0.versions()):
             for entry in stage0.entries_on(version):
                 pkt_v = state.versions[version]
-                self._post(self.runtimes[entry.node.name].rx_for(pkt_v), pkt_v)
+                self._post(self._ring_for(entry.node.name, state), pkt_v)
                 extra += self.params.ring_hop_us
         return extra
+
+    def _ring_for(self, name: str, state: FlightState) -> Ring:
+        """The rx ring this packet's flow is pinned to for NF ``name``."""
+        group = self.runtimes[name]
+        if group.count == 1:
+            return group.instances[0].rx
+        return group.ring(state.assignment.get(name, 0))
 
     # ----------------------------------------------------- copy machinery
     def _make_copy(self, base: Packet, copy_spec) -> Tuple[Packet, float]:
@@ -485,11 +564,11 @@ class NFPServer:
                     extra += cost
                     for entry in next_stage.entries_on(copy.version):
                         self._post(
-                            self.runtimes[entry.node.name].rx_for(new_pkt), new_pkt
+                            self._ring_for(entry.node.name, state), new_pkt
                         )
                         extra += self.params.ring_hop_us
         for entry in next_stage.entries_on(version):
-            self._post(self.runtimes[entry.node.name].rx_for(fwd_pkt), fwd_pkt)
+            self._post(self._ring_for(entry.node.name, state), fwd_pkt)
             extra += self.params.ring_hop_us
         return extra
 
@@ -587,3 +666,9 @@ class NFPServer:
             hub.gauge(f"merger{merger.index}.at_hwm",
                       float(merger.at_high_watermark))
             hub.gauge(f"merger{merger.index}.at_depth", float(len(merger.at)))
+        if self.flow_cache is not None:
+            hub.gauge("classifier.flow_cache.size", float(len(self.flow_cache)))
+            hub.gauge("classifier.flow_cache.capacity",
+                      float(self.flow_cache.capacity))
+            hub.gauge("classifier.flow_cache.invalidations",
+                      float(self.flow_cache.invalidations))

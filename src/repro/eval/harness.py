@@ -15,7 +15,7 @@ at the highest sustainable rate, where queueing dominates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from ..core.compiler import CompilationResult
 from ..core.graph import ServiceGraph
@@ -118,6 +118,9 @@ def measure_nfp(
     label: str = "",
     seed: int = 1,
     telemetry: Optional[TelemetryHub] = None,
+    instances: Union[int, Mapping[str, int], None] = None,
+    flow_cache: bool = False,
+    flow_cache_size: int = 4096,
 ) -> MeasurementResult:
     """Measure an NFP service graph end to end.
 
@@ -125,12 +128,25 @@ def measure_nfp(
     collect per-NF metrics (and span events, if the hub carries a
     tracer) during the run; end-of-run gauges are sampled before
     returning.
+
+    ``instances`` replicates NFs (§7): a uniform count or a name ->
+    count mapping; flows are RSS-split, the capacity model divides each
+    replicated NF's demand accordingly, and the offered rate follows.
+    ``flow_cache=True`` enables the classifier's per-flow decision cache
+    (``flow_cache_size`` entries) and models its steady-state hit cost.
     """
     graph = as_graph(target)
+    scale: Optional[Dict[str, int]] = None
+    if instances is not None:
+        if isinstance(instances, int):
+            scale = {name: instances for name in graph.nf_names()}
+        else:
+            scale = {name: int(instances.get(name, 1))
+                     for name in graph.nf_names()}
     size = int(sizes.mean())
     capacity = nfp_capacity(
         graph, params, num_mergers=num_mergers, packet_size=size,
-        extra_cycles=extra_cycles,
+        extra_cycles=extra_cycles, scale=scale, flow_cache=flow_cache,
     )
     fraction = params.latency_load_fraction if load_fraction is None else load_fraction
     rate = max(1e-6, capacity.mpps * fraction)
@@ -143,8 +159,9 @@ def measure_nfp(
         return nf
 
     server = NFPServer(env, params, num_mergers=num_mergers, nf_factory=factory,
-                       telemetry=telemetry)
-    server.deploy(deployed_from_graph(graph))
+                       telemetry=telemetry,
+                       flow_cache_size=flow_cache_size if flow_cache else 0)
+    server.deploy(deployed_from_graph(graph), scale=scale)
     flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
     source = TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)
     _drain(env)

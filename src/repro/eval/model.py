@@ -10,7 +10,7 @@ instant.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..core.graph import ORIGINAL_VERSION, ServiceGraph
 from ..net.packet import HEADER_COPY_BYTES
@@ -59,6 +59,8 @@ def nfp_capacity(
     num_mergers: int = 1,
     packet_size: int = 64,
     extra_cycles: int = 0,
+    scale: Optional[Mapping[str, int]] = None,
+    flow_cache: bool = False,
 ) -> CapacityReport:
     """Throughput of an NFP server running one service graph.
 
@@ -70,10 +72,23 @@ def nfp_capacity(
       amortised onto the version's NFs);
     * merger: notifications x per-copy + completion base, split across
       instances.
+
+    ``scale`` (name -> instance count, §7) divides an NF's demand by its
+    replica count: RSS splits the flow space, so each instance sees
+    ``1/k`` of the load.  ``flow_cache=True`` models the steady state of
+    the classifier flow cache -- every packet after a flow's first hits
+    the memoized CT+FT decision and pays ``classifier_cache_hit_us``
+    instead of the full lookup.
     """
     demands: Dict[str, float] = {}
     service = (
-        params.classifier_tag_us if graph.has_parallelism else params.classifier_fwd_us
+        params.classifier_cache_hit_us
+        if flow_cache
+        else (
+            params.classifier_tag_us
+            if graph.has_parallelism
+            else params.classifier_fwd_us
+        )
     )
     stage0 = graph.stages[0]
     for copy in graph.copies:
@@ -106,6 +121,8 @@ def nfp_capacity(
                                 next_stage.entries_on(copy.version)
                             )
                 demand += cost / peers
+            if scale:
+                demand /= max(1, int(scale.get(entry.node.name, 1)))
             demands[entry.node.name] = demand
 
     if graph.needs_merger:

@@ -193,6 +193,36 @@ class Ipv4View(_View):
         self._set_u16(4, value)
 
     @property
+    def flags(self) -> int:
+        """The 3-bit flags field (reserved, DF, MF)."""
+        return self._u16(6) >> 13
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self._u16(6) & 0x2000)
+
+    @more_fragments.setter
+    def more_fragments(self, value: bool) -> None:
+        word = self._u16(6)
+        self._set_u16(6, (word | 0x2000) if value else (word & ~0x2000))
+
+    @property
+    def fragment_offset(self) -> int:
+        """Fragment offset in 8-byte units (13 bits)."""
+        return self._u16(6) & 0x1FFF
+
+    @fragment_offset.setter
+    def fragment_offset(self, value: int) -> None:
+        if not 0 <= value <= 0x1FFF:
+            raise ValueError("fragment offset is 13 bits")
+        self._set_u16(6, (self._u16(6) & ~0x1FFF) | value)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any fragment: MF set, or a non-zero offset."""
+        return bool(self._u16(6) & 0x3FFF)
+
+    @property
     def ttl(self) -> int:
         return self._u8(8)
 

@@ -88,6 +88,40 @@ def test_compare_cli_zero_on_identical_one_on_regression(
                  str(regressed)]) == 1
 
 
+def test_scale_sweep_throughput_tracks_instance_count(quick_report_path):
+    report = BenchReport.load(str(quick_report_path))
+    x1 = report.scenario("scale_ids_x1").metrics
+    x2 = report.scenario("scale_ids_x2").metrics
+    x4 = report.scenario("scale_ids_x4").metrics
+    assert x2["throughput_mpps"] == pytest.approx(
+        2 * x1["throughput_mpps"], rel=0.01)
+    assert x4["throughput_mpps"] == pytest.approx(
+        4 * x1["throughput_mpps"], rel=0.01)
+    for metrics in (x1, x2, x4):
+        assert metrics["lost"] == 0
+
+
+def test_flow_cache_reduces_classify_attribution(quick_report_path):
+    """Same chain, same seed, 2 instances/NF: cache on vs off.
+
+    The capacity bottleneck is an NF, so both runs see the identical
+    offered load; the only difference is the classifier's per-packet
+    service (memoized hit vs full CT lookup), which must show up as a
+    smaller classify share of the per-stage attribution.
+    """
+    report = BenchReport.load(str(quick_report_path))
+    off = report.scenario("fig13_ns_x2_cache_off")
+    on = report.scenario("fig13_ns_x2_cache_on")
+    assert on.metrics["offered_mpps"] == pytest.approx(
+        off.metrics["offered_mpps"])
+    assert on.metrics["cache_hits"] > 0  # 64 flows -> most packets hit
+    assert on.metrics["cache_misses"] > 0
+    assert "cache_hits" not in off.metrics
+    assert on.stage_us["classify"] < off.stage_us["classify"]
+    for scenario in (on, off):
+        assert scenario.metrics["lost"] == 0
+
+
 def test_measure_json_emits_machine_readable_results(capsys):
     code = main(["measure", "--chain", "firewall,monitor",
                  "--systems", "nfp,onvm", "--packets", "200", "--json"])

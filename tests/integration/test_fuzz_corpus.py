@@ -34,3 +34,20 @@ def test_corpus_seed_stays_green(path):
 def test_corpus_seeds_have_unique_ids():
     ids = [FuzzCase.load(p).case_id for p in CORPUS]
     assert len(ids) == len(set(ids))
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS[:4],
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in CORPUS[:4]],
+)
+def test_corpus_seed_stays_green_scaled(path):
+    """The §7 axis: the same seeds, every NF x2, RSS split, flow cache.
+
+    The sequential oracle becomes a bank of per-instance chains (see
+    ``run_case``); a subset keeps tier-1 wall time in budget -- CI's
+    fuzz-smoke covers the axis at depth.
+    """
+    case = FuzzCase.load(path)
+    outcome = run_case(case, include_des=True, instances=2)
+    assert outcome.ok, f"{outcome.kind}: {outcome.detail}"
+    assert outcome.instances == 2

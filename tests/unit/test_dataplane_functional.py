@@ -12,9 +12,12 @@ from repro.core import (
 from repro.dataplane import (
     FunctionalDataplane,
     MergeError,
+    SequentialBank,
     SequentialReference,
     apply_merge_ops,
+    flow_key,
     instantiate_nfs,
+    rss_instance,
 )
 from repro.net import Field, build_packet, insert_ah
 from repro.nfs import create_nf
@@ -188,3 +191,76 @@ def test_add_op_replaces_existing_ah_in_place():
     )
     assert merged.ah.seq == 99
     assert merged.wire_len == 120 + 24  # still exactly one AH
+
+
+# ---------------------------------------------------------- §7 scale-out
+def test_instantiate_nfs_with_scale_uses_instance_labels():
+    graph = graph_for(["firewall", "monitor"])
+    nfs = instantiate_nfs(graph, scale={"firewall": 2})
+    assert set(nfs) == {"firewall#0", "firewall#1", "monitor"}
+
+
+def test_scaled_functional_plane_routes_flows_by_rss():
+    graph = graph_for(["firewall", "monitor"])
+    plane = FunctionalDataplane(graph, scale={"monitor": 3})
+    packets = [build_packet(size=64, src_ip=f"10.0.{i}.1", src_port=5000 + i)
+               for i in range(24)]
+    for pkt in packets:
+        assert plane.process(pkt) is not None
+    # Flow counts partition across monitor instances and every instance
+    # matches the shared RSS choice exactly.
+    total = 0
+    for k in range(3):
+        monitor = plane.nfs[f"monitor#{k}"]
+        expected = sum(
+            1 for pkt in packets
+            if rss_instance(flow_key(pkt), 3) == k
+        )
+        assert monitor.rx_packets == expected
+        total += monitor.rx_packets
+    assert total == 24
+    # The unscaled firewall sees everything.
+    assert plane.nfs["firewall"].rx_packets == 24
+
+
+def test_scaled_functional_plane_rejects_bad_scale():
+    graph = graph_for(["firewall", "monitor"])
+    with pytest.raises(ValueError):
+        FunctionalDataplane(graph, scale=0)
+    with pytest.raises(ValueError):
+        FunctionalDataplane(graph, scale={"monitor": -1})
+
+
+def test_sequential_bank_partitions_nat_state_per_instance():
+    # Cross-flow NF state (the NAT's arrival-order port allocator) is
+    # partitioned by the split: each bank hands out its own port
+    # sequence, so bank routing is byte-visible and must match RSS.
+    def factory(k):
+        return [create_nf("nat", name=f"seq{k}.nat")]
+
+    bank = SequentialBank(factory, instances=2)
+    packets = [build_packet(size=64, src_ip=f"10.3.{i}.1", src_port=7000 + i)
+               for i in range(12)]
+    for pkt in packets:
+        expected = rss_instance(flow_key(pkt), 2)
+        assert bank.bank_for(pkt) == expected
+        assert bank.process(pkt) is not None
+    assert bank.processed == 12 and bank.emitted == 12
+    assert sum(b.processed for b in bank.banks) == 12
+    assert all(b.processed > 0 for b in bank.banks)
+
+
+def test_sequential_bank_single_instance_matches_reference():
+    def chain():
+        return [create_nf("monitor", name="m")]
+
+    bank = SequentialBank(lambda k: chain(), instances=1)
+    reference = SequentialReference(chain())
+    for i in range(6):
+        a = bank.process(build_packet(size=64, src_port=6000 + i,
+                                      identification=i))
+        b = reference.process(build_packet(size=64, src_port=6000 + i,
+                                           identification=i))
+        assert bytes(a.buf) == bytes(b.buf)
+    with pytest.raises(ValueError):
+        SequentialBank(lambda k: chain(), instances=0)

@@ -1,9 +1,9 @@
-"""Unit tests for the §7 NF scaling analysis."""
+"""Unit tests for the §7 NF scaling analysis and its executable form."""
 
 import pytest
 
 from repro.core import Orchestrator, Policy
-from repro.core.scaling import plan_scale_out
+from repro.core.scaling import ScaledGraph, plan_scale_out, scale_graph
 from repro.eval import forced_sequential, nfp_capacity
 from repro.sim import DEFAULT_PARAMS
 
@@ -68,3 +68,80 @@ def test_plan_str_smoke():
     graph = graph_for(["firewall", "monitor"])
     plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=2.0)
     assert "Mpps" in str(plan)
+
+
+# ------------------------------------------------- executable scale plans
+def test_scaled_graph_labels_and_fresh_ids():
+    graph = graph_for(["ids", "monitor"])
+    scaled = ScaledGraph(graph, {"ids": 3})
+    assert scaled.labels("ids") == ["ids#0", "ids#1", "ids#2"]
+    assert scaled.labels("monitor") == ["monitor"]
+    assert scaled.total_instances == 4
+    assert scaled.scaled_names() == ["ids"]
+    # "new NF instances with new IDs": dense, unique, in graph order.
+    ids = list(scaled.instance_ids.values())
+    assert sorted(ids) == list(range(1, 5))
+    assert len(set(ids)) == len(ids)
+    assert "idsx3" in scaled.describe()
+
+
+def test_scaled_graph_rejects_bad_counts():
+    graph = graph_for(["ids", "monitor"])
+    with pytest.raises(ValueError):
+        ScaledGraph(graph, {"ids": 0})
+    with pytest.raises(ValueError):
+        ScaledGraph(graph, {"nosuch": 2})
+    with pytest.raises(ValueError):
+        scale_graph(graph, 0)
+
+
+def test_scale_graph_accepts_int_mapping_and_plan():
+    graph = forced_sequential(["ids"])
+    assert scale_graph(graph, 2).counts == {"ids0": 2}
+    assert scale_graph(graph, {"ids0": 3}).counts == {"ids0": 3}
+    plan = plan_scale_out(graph, DEFAULT_PARAMS, target_mpps=5.0)
+    scaled = scale_graph(graph, plan)
+    # The plan's classifier/merger sizing is filtered out of NF counts.
+    assert scaled.counts == {"ids0": 4}
+    assert plan.nf_counts(graph) == {"ids0": 4}
+    assert plan.merger_count == 1
+
+
+def test_orchestrator_deploy_carries_scale():
+    orch = Orchestrator()
+    deployed = orch.deploy(Policy.from_chain(["ids", "monitor"]),
+                           scale={"ids": 2})
+    assert deployed.scale == {"ids": 2, "monitor": 1}
+    assert deployed.scaled is not None
+    assert "scaled" in repr(deployed)
+    unscaled = orch.deploy(Policy.from_chain(["firewall"]))
+    assert unscaled.scale == {}
+
+
+def test_deploy_scaled_sizes_then_deploys():
+    orch = Orchestrator()
+    deployed = orch.deploy_scaled(
+        Policy.from_chain(["ids", "monitor"]), target_mpps=4.0,
+        params=DEFAULT_PARAMS)
+    assert deployed.plan is not None
+    assert deployed.plan.feasible
+    assert deployed.scale["ids"] == deployed.plan.instances["ids"] >= 3
+    assert deployed.scale["monitor"] == 1
+
+
+def test_capacity_scale_divides_nf_demand():
+    graph = forced_sequential(["ids"])
+    base = nfp_capacity(graph, DEFAULT_PARAMS)
+    scaled = nfp_capacity(graph, DEFAULT_PARAMS, scale={"ids0": 4})
+    assert scaled.demands["ids0"] == pytest.approx(base.demands["ids0"] / 4)
+    assert scaled.mpps == pytest.approx(base.mpps * 4, rel=0.05)
+
+
+def test_capacity_flow_cache_reduces_classifier_demand():
+    graph = graph_for(["firewall", "monitor"])
+    base = nfp_capacity(graph, DEFAULT_PARAMS)
+    cached = nfp_capacity(graph, DEFAULT_PARAMS, flow_cache=True)
+    delta = (DEFAULT_PARAMS.classifier_tag_us
+             - DEFAULT_PARAMS.classifier_cache_hit_us)
+    assert cached.demands["classifier"] == pytest.approx(
+        base.demands["classifier"] - delta)
