@@ -104,8 +104,15 @@ def _measured(
     label: str = "",
     instances=None,
     flow_cache: bool = False,
+    faults: Optional[str] = None,
 ) -> Callable[[int, int], SpecOutcome]:
-    """Build a runner around :func:`measure_nfp` with span collection."""
+    """Build a runner around :func:`measure_nfp` with span collection.
+
+    ``faults`` runs the scenario under fault injection; every
+    delivery-dependent metric becomes volatile (fault timing vs load
+    makes them workload-specific), and the fault/failover counters ride
+    along as extras instead.
+    """
 
     def run(packets: int, seed: int) -> SpecOutcome:
         tracer = Tracer()
@@ -120,6 +127,8 @@ def _measured(
             kwargs["instances"] = instances
         if flow_cache:
             kwargs["flow_cache"] = True
+        if faults:
+            kwargs["faults"] = faults
         result = measure_nfp(target_factory(), **kwargs)
         params = {"packets": packets, "seed": seed,
                   "extra_cycles": extra_cycles}
@@ -127,10 +136,25 @@ def _measured(
             params["instances"] = instances
         if flow_cache:
             params["flow_cache"] = True
+        extras = _counter_extras(hub)
+        volatile: List[str] = []
+        if faults:
+            params["faults"] = faults
+            registry = hub.registry
+            extras.update({
+                "faults_injected": registry.counter_value("faults.injected"),
+                "at_timeouts": registry.counter_value("merger.at_timeout"),
+                "restarts": registry.counter_value("failover.restarts"),
+                "degraded_graphs":
+                    registry.counter_value("failover.degraded_graphs"),
+            })
+            volatile = ["latency_mean_us", "latency_p50_us", "latency_p99_us",
+                        "delivered", "lost", "nil_dropped"]
         return SpecOutcome(
             measurement=measurement_to_dict(result),
             rollup=stage_rollup(tracer.events),
-            extra_metrics=_counter_extras(hub),
+            extra_metrics=extras,
+            volatile=volatile,
             params=params,
         )
 
@@ -351,6 +375,17 @@ def _build_registry() -> Dict[str, BenchmarkSpec]:
         runner=_measured(_compiled_chain(NORTH_SOUTH_CHAIN),
                          sizes=DATACENTER_MIX, instances=2, flow_cache=True,
                          label="north-south x2 cache-on"),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig13_ns_faults",
+        description="north-south chain, 2 instances/NF, one NF instance "
+                    "crashed mid-run: failover + AT-timeout recovery cost "
+                    "(reported, delivery metrics volatile)",
+        quick=True,
+        runner=_measured(_compiled_chain(NORTH_SOUTH_CHAIN),
+                         sizes=DATACENTER_MIX, instances=2, flow_cache=True,
+                         faults="crash:firewall:pkt=200",
+                         label="north-south x2 crash"),
     ))
     specs.append(BenchmarkSpec(
         name="fuzz_corpus_replay",

@@ -56,12 +56,13 @@ from ..dataplane.functional import (
     SequentialReference,
 )
 from ..dataplane.server import NFPServer
+from ..faults import FaultInjector, FaultPlan
 from ..nfs.base import create_nf
 from ..sim import DEFAULT_PARAMS, Environment
 from ..telemetry.hooks import NULL_HUB, TelemetryHub
 from .cases import FuzzCase
 
-__all__ = ["CaseOutcome", "reference_order", "run_case"]
+__all__ = ["CaseOutcome", "reference_order", "run_case", "run_fault_case"]
 
 #: Deterministic inter-arrival gap for the DES plane, far below any
 #: graph's capacity so ring overflow (``server.lost``) cannot occur and
@@ -401,3 +402,83 @@ def run_case(
                 mismatched_idents=mismatched, **base))
 
     return finish(CaseOutcome(ok=True, kind="ok", **base))
+
+
+def run_fault_case(
+    case: FuzzCase,
+    faults: FaultPlan,
+    telemetry: TelemetryHub = NULL_HUB,
+    instances: int = 1,
+) -> CaseOutcome:
+    """Run one case on the DES plane under fault injection.
+
+    Byte equivalence is meaningless when instances crash mid-stream, so
+    the oracle here is the **conservation invariant** instead: after the
+    environment drains, every injected packet must have been emitted or
+    accounted to exactly one drop reason, the mergers' Accumulating
+    Tables must be empty, and no per-packet flight state may remain.
+    Any residue is a ``conservation-violation`` -- a stranded AT entry,
+    a leaked flight record, or a silently vanished packet.
+    """
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    started = time.monotonic()
+
+    def finish(outcome: CaseOutcome) -> CaseOutcome:
+        outcome.elapsed_s = time.monotonic() - started
+        telemetry.inc("fuzz.packets", outcome.packets)
+        if not outcome.ok:
+            telemetry.inc("fuzz.failures")
+            telemetry.inc(f"fuzz.failures.{outcome.kind}")
+        return outcome
+
+    policy = case.policy()
+    orch = Orchestrator(action_table=case.action_table())
+    try:
+        result = orch.compile(policy)
+    except Exception as exc:
+        return finish(CaseOutcome(
+            ok=False, kind="compile-error", detail=str(exc), case=case,
+            packets=len(case.packets)))
+    graph = result.graph
+
+    deployed = orch.deploy(policy, scale=instances if instances > 1 else None)
+    env = Environment(track_stats=telemetry.enabled)
+    injector = FaultInjector(faults, telemetry=telemetry)
+    server = NFPServer(env, DEFAULT_PARAMS, telemetry=telemetry,
+                       flow_cache_size=4096 if instances > 1 else 0,
+                       injector=injector)
+    server.deploy(deployed)
+    packets = case.build_packets()
+
+    def _feed():
+        for pkt in packets:
+            server.inject(pkt)
+            yield env.timeout(DES_GAP_US)
+
+    env.process(_feed())
+    env.run()
+
+    report = server.conservation_report()
+    base = dict(
+        case=case, packets=len(case.packets),
+        matched=int(report["emitted"]), graph_desc=graph.describe(),
+        instances=instances,
+    )
+    problems = []
+    if report["unaccounted"]:
+        problems.append(f"{report['unaccounted']} packets unaccounted "
+                        f"(injected={report['injected']} "
+                        f"emitted={report['emitted']} drops={report['drops']})")
+    if report["at_depth"]:
+        problems.append(f"{report['at_depth']} AT entries stranded after drain")
+    if report["flight_depth"]:
+        problems.append(
+            f"{report['flight_depth']} flight records leaked after drain")
+    if problems:
+        return finish(CaseOutcome(
+            ok=False, kind="conservation-violation",
+            detail=f"[{faults.describe()}] " + "; ".join(problems), **base))
+    return finish(CaseOutcome(
+        ok=True, kind="ok",
+        detail=f"[{faults.describe()}] drops={report['drops']}", **base))

@@ -21,9 +21,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..faults import FaultPlan, FaultSpec
 from ..telemetry.hooks import NULL_HUB, TelemetryHub
 from .cases import FuzzCase, ProfileTweak
-from .differential import CaseOutcome, run_case
+from .differential import CaseOutcome, run_case, run_fault_case
 from .generator import CaseGenerator
 from .shrinker import ShrinkResult, shrink_case, write_repro
 
@@ -74,6 +75,7 @@ def run_fuzz(
     shrink: bool = True,
     log: Optional[Callable[[str], None]] = None,
     instances: int = 1,
+    faults: Sequence[str] = (),
 ) -> FuzzReport:
     """Run a seeded fuzzing session under a case/time budget.
 
@@ -81,6 +83,15 @@ def run_fuzz(
     three planes with each NF uniformly replicated, the sequential
     oracle partitioned into per-instance banks, and the DES classifier
     flow cache enabled (see :func:`repro.check.differential.run_case`).
+
+    ``faults`` (fault kinds, e.g. ``("crash", "hang")``) switches to
+    fault-mode fuzzing: each case runs on the DES plane only, with one
+    deterministically derived fault per case (kind, target NF and
+    trigger packet all rotate with the case index), and the oracle is
+    the conservation invariant of
+    :func:`repro.check.differential.run_fault_case` instead of byte
+    equivalence.  Failures are not shrunk -- the fault schedule is part
+    of the case, and dropping packets would shift every trigger.
     """
     tweaks = [ProfileTweak.parse(spec) for spec in inject]
     generator = CaseGenerator(
@@ -97,8 +108,13 @@ def run_fuzz(
                     f"after {report.cases} cases")
             break
         case = generator.generate(index)
-        outcome = run_case(case, include_des=include_des, telemetry=telemetry,
-                           instances=instances)
+        if faults:
+            plan = _fault_plan_for(case, index, faults, packets_per_case)
+            outcome = run_fault_case(case, plan, telemetry=telemetry,
+                                     instances=instances)
+        else:
+            outcome = run_case(case, include_des=include_des,
+                               telemetry=telemetry, instances=instances)
         telemetry.inc("fuzz.cases")
         report.cases += 1
         report.packets += outcome.packets
@@ -108,7 +124,7 @@ def run_fuzz(
         failure = FuzzFailure(index=index, outcome=outcome)
         if log:
             log(f"case {index}: {outcome.kind} -- {outcome.detail}")
-        if shrink:
+        if shrink and not faults:
             failure.shrunk = shrink_case(
                 case, include_des=include_des, telemetry=telemetry,
                 instances=instances)
@@ -130,6 +146,26 @@ def run_fuzz(
     report.duration_s = time.monotonic() - started
     telemetry.gauge("fuzz.cases_per_s", report.cases_per_s)
     return report
+
+
+def _fault_plan_for(
+    case: FuzzCase,
+    index: int,
+    faults: Sequence[str],
+    packets_per_case: int,
+) -> FaultPlan:
+    """One deterministic fault per case, derived from the case index.
+
+    Kind, victim NF and trigger packet all rotate at different strides
+    so a few hundred cases cover the (kind x target x timing) grid
+    without any RNG state shared with the case generator.
+    """
+    kind = faults[index % len(faults)]
+    names = sorted(case.kinds())
+    target = names[(index // len(faults)) % len(names)]
+    at_packet = 1 + (index // (len(faults) * len(names))) % max(
+        packets_per_case, 1)
+    return FaultPlan([FaultSpec.parse(f"{kind}:{target}:pkt={at_packet}")])
 
 
 def replay_corpus(

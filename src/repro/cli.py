@@ -206,6 +206,9 @@ def cmd_fuzz(args) -> int:
         print(f"\nreplayed {len(results)} corpus cases, {failures} failing")
         return 1 if failures else 0
 
+    faults = tuple(
+        kind.strip() for kind in (args.faults or "").split(",") if kind.strip()
+    )
     report = run_fuzz(
         cases=args.cases,
         seed=args.seed,
@@ -220,6 +223,7 @@ def cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         log=lambda line: print(f"  {line}"),
         instances=args.instances,
+        faults=faults,
     )
 
     counters = hub.registry
@@ -227,9 +231,18 @@ def cmd_fuzz(args) -> int:
     print(f"cases       : {report.cases} "
           f"({report.cases_per_s:.1f}/s over {report.duration_s:.1f}s)")
     print(f"packets     : {report.packets}")
-    print(f"shrink runs : {counters.counter_value('fuzz.shrink_steps')}")
+    if faults:
+        print(f"faults      : {','.join(faults)} "
+              f"(injected {counters.counter_value('faults.injected')}, "
+              f"AT timeouts {counters.counter_value('merger.at_timeout')}, "
+              f"restarts {counters.counter_value('failover.restarts')})")
+    else:
+        print(f"shrink runs : {counters.counter_value('fuzz.shrink_steps')}")
     if report.ok:
-        print("result      : all cases agree across the three planes")
+        if faults:
+            print("result      : conservation held for every fault case")
+        else:
+            print("result      : all cases agree across the three planes")
         return 0
     print(f"result      : {len(report.failures)} failing case(s)")
     for failure in report.failures:
@@ -480,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="perturb a profile, e.g. "
                              "hidden-write:loadbalancer:DIP, "
                              "read-only:firewall, no-drop:ips (repeatable)")
+    p_fuzz.add_argument("--faults", metavar="KINDS", default="",
+                        help="fault-mode fuzzing: comma-separated fault kinds "
+                             "(crash,hang,slow,ring) injected one per case; "
+                             "the oracle becomes the packet-conservation "
+                             "invariant on the DES plane")
     p_fuzz.add_argument("--replay", metavar="DIR",
                         help="replay a corpus directory instead of fuzzing")
     p_fuzz.add_argument("--out-dir", default="fuzz-artifacts",

@@ -43,7 +43,7 @@ from .graph import (
     Stage,
     StageEntry,
 )
-from .compiler import CompilationResult, NFPCompiler, compile_policy
+from .compiler import CompilationResult, CompileError, NFPCompiler, compile_policy
 from .tables import (
     MERGER_TARGET,
     OUTPUT_TARGET,
@@ -111,6 +111,7 @@ __all__ = [
     "ORIGINAL_VERSION",
     "NFPCompiler",
     "CompilationResult",
+    "CompileError",
     "compile_policy",
     "build_tables",
     "TableSet",

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.fields import Field
+from ..net.packet import PacketMeta
 from .action_table import ActionTable, default_action_table
 from .actions import ActionProfile
 from .conflicts import check_policy
@@ -52,7 +53,16 @@ from .graph import (
 )
 from .policy import Policy, Position
 
-__all__ = ["CompilationResult", "NFPCompiler", "compile_policy"]
+__all__ = ["CompileError", "CompilationResult", "NFPCompiler", "compile_policy"]
+
+#: Highest usable version number: the metadata version field is 4 bits
+#: (§5.2) and versions are numbered from 1, so a graph can hold at most
+#: 15 concurrent packet versions (v1 plus 14 copies).
+MAX_VERSIONS = (1 << PacketMeta.VERSION_BITS) - 1
+
+
+class CompileError(ValueError):
+    """The policy compiles to a graph the dataplane cannot execute."""
 
 
 class CompilationResult:
@@ -369,6 +379,16 @@ class NFPCompiler:
                         placed = True
                         break
                 if not placed:
+                    if next_version > MAX_VERSIONS:
+                        # Without this check version numbers would wrap
+                        # the 4-bit metadata field and silently collide.
+                        raise CompileError(
+                            f"graph needs more than {MAX_VERSIONS} concurrent "
+                            f"packet versions; the metadata version field is "
+                            f"{PacketMeta.VERSION_BITS} bits "
+                            f"(versions 1..{MAX_VERSIONS})"
+                            " -- split the policy into smaller micrographs"
+                        )
                     groups.append((next_version, [name]))
                     next_version += 1
 

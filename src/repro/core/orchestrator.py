@@ -157,6 +157,30 @@ class Orchestrator:
         )
         return self.deploy(policy, match=match, scale=plan)
 
+    def degrade(self, mid: int) -> DeployedGraph:
+        """Deploy the sequential linearization of graph ``mid``.
+
+        Graceful-degradation control path: when a dataplane loses every
+        instance of an NF in a parallel graph, the orchestrator falls
+        back to the graph's sequential chain -- same NFs, same CT match,
+        fresh MID -- trading the latency win for single-copy execution
+        that tolerates one-instance-at-a-time processing.  The original
+        deployment stays installed for in-flight packets.
+        """
+        from ..faults.recovery import linearize
+
+        original = self.get(mid)
+        seq = linearize(original.graph)
+        new_mid = self._allocate_mid()
+        tables = build_tables(seq, new_mid, match=original.tables.ct_entry.match)
+        result = CompilationResult(seq, {}, [
+            f"degraded from MID {mid}: sequential fallback of "
+            f"{original.graph.describe()!r}"
+        ])
+        deployed = DeployedGraph(new_mid, result, tables)
+        self._deployed[new_mid] = deployed
+        return deployed
+
     def undeploy(self, mid: int) -> None:
         if mid not in self._deployed:
             raise KeyError(f"no deployed graph with MID {mid}")

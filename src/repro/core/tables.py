@@ -135,6 +135,13 @@ class ClassificationTable:
         if entry.match == self.WILDCARD:
             self._wildcard = entry
         elif isinstance(entry.match, FlowMatch):
+            # Reinstalling the same predicate (a recompiled or degraded
+            # graph) replaces the old row in place; first-match-wins
+            # lookup would otherwise shadow the update forever.
+            for i, existing in enumerate(self._predicates):
+                if existing.match == entry.match:
+                    self._predicates[i] = entry
+                    return
             self._predicates.append(entry)
         else:
             self._exact[entry.match] = entry

@@ -28,7 +28,7 @@ from __future__ import annotations
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core.graph import ServiceGraph
 from ..core.tables import CTEntry
@@ -85,17 +85,36 @@ def flow_key(pkt: Packet) -> Optional[tuple]:
 
 
 def assign_instances(
-    key: Optional[tuple], counts: Mapping[str, int]
+    key: Optional[tuple],
+    counts: Mapping[str, int],
+    healthy: Optional[Mapping[str, Sequence[int]]] = None,
 ) -> Dict[str, int]:
     """Per-NF instance assignment for one flow.
 
     ``counts`` maps NF names to instance counts; only replicated NFs
     (count > 1) get an entry -- everything else implicitly reads 0.
+
+    ``healthy`` (failover) optionally restricts named NFs to a subset
+    of live instance indices: flows of an NF listed there rehash over
+    its healthy list instead of ``range(count)``.  NFs *not* listed --
+    the fully healthy ones -- keep the exact historical ``hash % count``
+    mapping, so a casualty in one group never reshuffles another
+    group's flows.
     """
     scaled = {name: c for name, c in counts.items() if c > 1}
     if not scaled:
         return _NO_ASSIGNMENT
-    return {name: rss_instance(key, count) for name, count in scaled.items()}
+    assignment: Dict[str, int] = {}
+    for name, count in scaled.items():
+        live = healthy.get(name) if healthy else None
+        if live is not None and 0 < len(live) < count:
+            if key is None:
+                assignment[name] = live[0]
+            else:
+                assignment[name] = live[rss_hash(key) % len(live)]
+        else:
+            assignment[name] = rss_instance(key, count)
+    return assignment
 
 
 @dataclass
@@ -149,6 +168,10 @@ class FlowCache:
         """Drop every cached decision (tables were (re)installed)."""
         self._entries.clear()
         self.invalidations += 1
+
+    def decisions(self) -> Tuple[FlowDecision, ...]:
+        """Cached decisions, LRU first (failover reassignment audit)."""
+        return tuple(self._entries.values())
 
     def keys(self) -> Tuple[tuple, ...]:
         """Cached flow keys, LRU first (for tests/telemetry)."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.graph import ORIGINAL_VERSION, ServiceGraph
+from ..faults import FaultInjector, HealthBoard
 from ..net.packet import HEADER_COPY_BYTES, Packet
 from ..nfs.base import NetworkFunction
 from .flowsplit import assign_instances, flow_key, rss_instance
@@ -93,6 +94,7 @@ class FunctionalDataplane:
         graph: ServiceGraph,
         nf_instances: Optional[Dict[str, NetworkFunction]] = None,
         scale: Union[int, Mapping[str, int], None] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         self.graph = graph
         self.scale = _normalize_scale(graph, scale)
@@ -109,6 +111,19 @@ class FunctionalDataplane:
         self.processed = 0
         self.emitted = 0
         self.dropped = 0
+        #: Optional fault injector: instance health is consulted before
+        #: each NF application.  Down instances drop the version (nil)
+        #: instead of serving it; with replicas left, later flows rehash
+        #: onto healthy instances; with none left, the instance restarts
+        #: fresh (its per-flow state is lost -- the semantics failover
+        #: degrades to, and what fuzzing measures the blast radius of).
+        self.injector = injector
+        self.health = HealthBoard()
+        for name, count in self.scale.items():
+            self.health.register(name, count)
+        #: reason -> packet count for faulted drops (conservation report).
+        self.drop_reasons: Dict[str, int] = {}
+        self.restarts = 0
 
     def _labels(self, name: str) -> List[str]:
         count = self.scale[name]
@@ -121,11 +136,37 @@ class FunctionalDataplane:
             return self.nfs[name]
         return self.nfs[f"{name}#{assignment.get(name, 0)}"]
 
+    def _instance_down(self, entry, label: str, index: int) -> bool:
+        """Health gate before one NF application (fault runs only).
+
+        Returns True when the instance is dead/hung and the version must
+        drop.  When the casualty was the group's last healthy instance
+        it is restarted immediately with a fresh NF object (per-flow
+        state lost) -- the untimed plane has no parked process, so
+        reviving in place is safe here.
+        """
+        injector = self.injector
+        state = injector.on_packet(label, float(self.processed))
+        if not state.down:
+            return False
+        name = entry.node.name
+        remaining = self.health.mark_down(name, index)
+        if not remaining:
+            from ..nfs.base import create_nf
+
+            self.nfs[label] = create_nf(entry.node.kind, name=label)
+            self.restarts += 1
+            injector.revive(label)
+            self.health.mark_up(name, index)
+        return True
+
     def process(self, pkt: Packet) -> Optional[Packet]:
         """Run one packet through the graph; ``None`` means dropped."""
         self.processed += 1
         assignment = (
-            assign_instances(flow_key(pkt), self._scaled)
+            assign_instances(
+                flow_key(pkt), self._scaled,
+                healthy=self.health.view() if self.injector else None)
             if self._scaled else {}
         )
         versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
@@ -152,7 +193,17 @@ class FunctionalDataplane:
                 buffer = versions[entry.version]
                 if buffer.nil:
                     continue
-                ctx = self._nf(entry.node.name, assignment).handle(buffer)
+                name = entry.node.name
+                index = (0 if self.scale[name] == 1
+                         else assignment.get(name, 0))
+                label = name if self.scale[name] == 1 else f"{name}#{index}"
+                if (self.injector is not None
+                        and self._instance_down(entry, label, index)):
+                    self.drop_reasons["instance_down"] = (
+                        self.drop_reasons.get("instance_down", 0) + 1)
+                    newly_dropped.append(entry.version)
+                    continue
+                ctx = self.nfs[label].handle(buffer)
                 if ctx.dropped:
                     newly_dropped.append(entry.version)
             for version in newly_dropped:

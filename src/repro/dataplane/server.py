@@ -37,6 +37,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.graph import ORIGINAL_VERSION, ServiceGraph, StageEntry
 from ..core.orchestrator import DeployedGraph
+from ..core.tables import build_tables
+from ..faults import FaultInjector, FaultKind, HealthBoard, HealthState, base_name
+from ..faults.recovery import linearize
 from ..net.packet import HEADER_COPY_BYTES, Packet, PacketMeta
 from ..nfs.base import NetworkFunction, create_nf
 from ..sim import Core, Environment, Nic, PacketPool, RateMeter, Ring, SimParams
@@ -62,28 +65,36 @@ class FlightState:
     packets of one flow, land on the same instance of each scaled NF.
     """
 
-    __slots__ = ("versions", "dropped", "barriers", "assignment")
+    __slots__ = ("versions", "dropped", "barriers", "assignment", "opened_us")
 
-    def __init__(self, pkt: Packet, assignment: Optional[Mapping[str, int]] = None):
+    def __init__(self, pkt: Packet, assignment: Optional[Mapping[str, int]] = None,
+                 opened_us: float = 0.0):
         self.versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}
         self.dropped: Set[int] = set()
         self.barriers: Dict[Tuple[int, int], int] = {}
         self.assignment: Mapping[str, int] = (
             _NO_ASSIGNMENT if assignment is None else assignment
         )
+        #: Classification time; ages the entry for the flight sweeper.
+        self.opened_us = opened_us
 
 
 class _NFRuntimeSim:
     """One NF pinned to one core with its receive ring (§5.2)."""
 
     def __init__(self, server: "NFPServer", nf: NetworkFunction, stage_index: int,
-                 entry: StageEntry, core: Core):
+                 entry: StageEntry, core: Core,
+                 group: Optional["_RuntimeGroup"] = None):
         self.server = server
         self.nf = nf
         self.stage_index = stage_index
         self.entry = entry
         self.core = core
+        self.group = group
         self.rx = Ring(server.env, server.params.ring_capacity, name=f"{nf.name}.rx")
+        #: Back-reference for delivery-time health checks and overflow
+        #: accounting (see ``NFPServer._post`` / ``Ring.on_drop``).
+        self.rx.owner = self
         server.env.process(self._run())
 
     def _run(self):
@@ -92,15 +103,38 @@ class _NFRuntimeSim:
         # preserves traffic burstiness through the chain, which is what
         # makes per-stage queueing (and hence the parallelism win)
         # behave like the real system.
-        params = self.server.params
-        hub = self.server.telemetry
+        server = self.server
+        params = server.params
+        hub = server.telemetry
         enabled = hub.enabled  # fixed for the server's lifetime
+        injector = server.injector
         while True:
             first = yield self.rx.get()
             batch = [first] + self.rx.get_batch(params.batch_size - 1)
-            for pkt in batch:
+            for index, pkt in enumerate(batch):
+                slow = 1.0
+                if injector is not None:
+                    health = injector.on_packet(self.nf.name, server.env.now)
+                    if health is HealthState.DEAD:
+                        # Crash: the whole burst dies with the instance
+                        # -- earlier packets in it were serviced but
+                        # their results are only committed after the
+                        # burst (batch-synchronous loop), so a crash
+                        # loses them too.  Abort everything, drain the
+                        # ring, die.
+                        for stranded in batch:
+                            server.fault_abort(self, stranded)
+                        self._drain_dead()
+                        return
+                    if health is HealthState.HUNG:
+                        # Wedge forever holding the rest of the burst;
+                        # the flight sweeper reclaims those packets and
+                        # failover redirects the flows.
+                        yield server.env.event()
+                    if health is HealthState.SLOW:
+                        slow = injector.slow_factor(self.nf.name)
                 if enabled:
-                    hub.span(SpanKind.NF_START, self.server.env.now, pkt.meta,
+                    hub.span(SpanKind.NF_START, server.env.now, pkt.meta,
                              name=self.nf.name)
                 if pkt.nil:
                     service = params.nf_runtime_us
@@ -108,16 +142,26 @@ class _NFRuntimeSim:
                     service = params.nf_runtime_us + params.nf_service(
                         self.nf.KIND, self.nf.extra_cycles
                     )
+                service *= slow
                 yield self.core.execute(service)
-                pkt.stamp(f"nf:{self.nf.name}", self.server.env.now)
+                pkt.stamp(f"nf:{self.nf.name}", server.env.now)
                 if enabled:
                     hub.observe(f"nf.{self.nf.name}.service_us", service)
-                    hub.span(SpanKind.NF_END, self.server.env.now, pkt.meta,
+                    hub.span(SpanKind.NF_END, server.env.now, pkt.meta,
                              name=self.nf.name, duration_us=service)
             for pkt in batch:
                 extra = self.server.nf_complete(self, pkt)
                 if extra > 0:
                     yield self.core.execute(extra)
+
+    def _drain_dead(self) -> None:
+        """Abort everything buffered in a crashed instance's ring."""
+        while True:
+            stranded = self.rx.get_batch(self.server.params.batch_size)
+            if not stranded:
+                return
+            for pkt in stranded:
+                self.server.fault_abort(self, pkt)
 
 
 class _RuntimeGroup:
@@ -132,9 +176,22 @@ class _RuntimeGroup:
     def __init__(self, name: str):
         self.name = name
         self.instances: List[_NFRuntimeSim] = []
+        #: MID -> (stage index, stage entry) for every graph this group
+        #: serves.  One deployment per NF normally; graceful degradation
+        #: adds the NF's placement in the degraded sequential graph.
+        self.placements: Dict[int, Tuple[int, StageEntry]] = {}
+        #: Replacement runtimes spawned after crashes (label suffix).
+        self.restarts = 0
 
     def add(self, runtime: "_NFRuntimeSim") -> None:
+        runtime.group = self
         self.instances.append(runtime)
+
+    def index_of(self, label: str) -> Optional[int]:
+        for i, runtime in enumerate(self.instances):
+            if runtime.nf.name == label:
+                return i
+        return None
 
     @property
     def count(self) -> int:
@@ -164,6 +221,9 @@ class _MergerSim:
         self.at_high_watermark = 0
         self.merged = 0
         self.discarded = 0
+        #: Entries reclaimed by the AT timeout sweeper.
+        self.timed_out = 0
+        self._sweeping = False
         server.env.process(self._run())
 
     def _run(self):
@@ -185,10 +245,18 @@ class _MergerSim:
         key = (meta.mid, meta.pid)
         entry = self.at.get(key)
         if entry is None:
+            if key not in self.server._flight:
+                # The packet was already accounted (AT timeout, ring
+                # overflow, flight sweep); a late notification must not
+                # reopen an entry that can never complete.
+                if hub.enabled:
+                    hub.inc("merger.stale_notification")
+                return None
             entry = {"count": 0, "versions": {}, "nil": False,
                      "opened_us": self.server.env.now}
             self.at[key] = entry
             self.at_high_watermark = max(self.at_high_watermark, len(self.at))
+            self._maybe_sweep()
             if hub.enabled:
                 hub.inc("merger.at_insert")
                 hub.span(SpanKind.MERGE_WAIT, self.server.env.now, meta,
@@ -211,10 +279,7 @@ class _MergerSim:
             self.discarded += 1
             if hub.enabled:
                 hub.inc("merger.discarded")
-            dropped = entry["versions"].get(ORIGINAL_VERSION)
-            if dropped is None:
-                dropped = next(iter(entry["versions"].values()), None)
-            self.server.record_drop(dropped)
+            self.server.record_drop(_drop_witness(entry))
             return
         merged = apply_merge_ops(entry["versions"], graph.merge_ops,
                                  telemetry=hub)
@@ -237,6 +302,78 @@ class _MergerSim:
         self.merged += 1
         self.server.emit(merged, extra_delay=delay)
 
+    # -------------------------------------------------- AT entry timeouts
+    def _maybe_sweep(self) -> None:
+        """Arm the lazy timeout sweeper (idle whenever the AT is empty)."""
+        if self._sweeping or self.server.params.at_timeout_us <= 0:
+            return
+        self._sweeping = True
+        self.server.env.process(self._sweep())
+
+    def _sweep(self):
+        server = self.server
+        timeout = server.params.at_timeout_us
+        interval = max(timeout / 4.0, 1.0)
+        while self.at:
+            yield server.env.timeout(interval)
+            now = server.env.now
+            expired = [key for key, entry in self.at.items()
+                       if now - entry["opened_us"] >= timeout]
+            for key in expired:
+                self._expire(key, self.at.pop(key))
+        self._sweeping = False
+
+    def _expire(self, key: Tuple[int, int], entry: Dict) -> None:
+        """Reclaim a stranded entry: merge what arrived, or account it.
+
+        Missing branches are treated as nil notifications that will
+        never come.  When version 1 and every merge source did arrive
+        (and nothing collected is nil), the merge of the partial set is
+        emitted -- the packet survives the fault.  Otherwise the packet
+        is accounted as an ``at_timeout`` drop; either way the entry,
+        and the packet's flight state, are reclaimed instead of leaking.
+        """
+        server = self.server
+        hub = server.telemetry
+        self.timed_out += 1
+        hub.inc("merger.at_timeout")
+        versions = entry["versions"]
+        graph: Optional[ServiceGraph]
+        try:
+            graph = server.chaining.graph_for(key[0])
+        except KeyError:
+            graph = None
+        usable = (
+            graph is not None
+            and not entry["nil"]
+            and ORIGINAL_VERSION in versions
+            and all(op.src_version is None or op.src_version in versions
+                    for op in graph.merge_ops)
+        )
+        if usable:
+            merged = apply_merge_ops(versions, graph.merge_ops, telemetry=hub)
+            if merged is not None:
+                hub.inc("merger.at_timeout_emit")
+                merged.stamp("merged-degraded", server.env.now)
+                self.merged += 1
+                server.emit(merged, extra_delay=server.params.merge_latency_us)
+                return
+        server.account_drop(_drop_witness(entry), "at_timeout")
+
+
+def _drop_witness(entry: Dict) -> Optional[Packet]:
+    """The packet recorded for a discarded AT entry.
+
+    Version 1 when collected, else deterministically the lowest
+    collected version number -- never dict insertion order, which
+    varies with NF completion timing.
+    """
+    versions = entry["versions"]
+    witness = versions.get(ORIGINAL_VERSION)
+    if witness is None and versions:
+        witness = versions[min(versions)]
+    return witness
+
 
 class NFPServer:
     """A full simulated NFP box processing deployed service graphs."""
@@ -249,9 +386,17 @@ class NFPServer:
         nf_factory: Optional[Callable[[str, str], NetworkFunction]] = None,
         telemetry: Optional[TelemetryHub] = None,
         flow_cache_size: int = 0,
+        injector: Optional[FaultInjector] = None,
     ):
         self.env = env
         self.params = params
+        #: Optional fault injector; when attached, instance health is
+        #: consulted on every served/delivered packet, transitions drive
+        #: failover/degradation, and the flight sweeper guarantees every
+        #: injected packet is eventually emitted or reason-accounted.
+        self.injector = injector
+        if injector is not None:
+            injector.on_transition(self._on_health_transition)
         #: Telemetry hub shared by the classifier, runtimes, mergers and
         #: NFs; the disabled NULL_HUB by default (one branch per call site).
         self.telemetry = telemetry if telemetry is not None else NULL_HUB
@@ -269,6 +414,7 @@ class NFPServer:
         self._cores = 0
         self.classifier_core = self._new_core("classifier")
         self.ingress = Ring(env, params.ring_capacity, name="classifier.rx")
+        self.ingress.on_drop = self._ingress_overflow
         env.process(self._classifier_loop())
 
         self.num_mergers = num_mergers
@@ -301,6 +447,23 @@ class NFPServer:
         #: When True, every packet records (label, timestamp) checkpoints
         #: usable by repro.eval.breakdown.
         self.record_timeline = False
+
+        # Conservation ledger: every injected packet must end up in
+        # ``emitted`` or in exactly one reason bucket of ``drops``.
+        self.injected = 0
+        self.emitted = 0
+        self.drops: Dict[str, int] = {}
+
+        # Failover state.
+        self.health = HealthBoard()
+        #: Cached-flow reassignments performed by failover so far.
+        self.reassigned_flows = 0
+        #: original MID -> degraded sequential MID.
+        self.degraded_mids: Dict[int, int] = {}
+        self._flight_sweeping = False
+
+        for merger in self.mergers:
+            merger.rx.on_drop = self._merger_overflow
 
     # ------------------------------------------------------------- wiring
     def _new_core(self, name: str) -> Core:
@@ -339,20 +502,25 @@ class NFPServer:
                 if count < 1:
                     raise ValueError(f"scale for {name!r} must be >= 1")
                 group = _RuntimeGroup(name)
+                group.placements[deployed.mid] = (stage_index, entry)
                 for replica in range(count):
                     label = name if count == 1 else f"{name}#{replica}"
-                    nf = self._nf_factory(entry.node.kind, label)
-                    nf.telemetry = self.telemetry
-                    if count == 1:
-                        self.nfs[name] = nf
-                    else:
-                        self.nfs[label] = nf
-                    group.add(_NFRuntimeSim(
-                        self, nf, stage_index, entry, self._new_core(label)
-                    ))
+                    group.add(self._spawn_runtime(label, entry, stage_index))
                 self.runtimes[name] = group
+                self.health.register(name, count)
                 if count > 1:
                     self._scaled_counts[name] = count
+
+    def _spawn_runtime(
+        self, label: str, entry: StageEntry, stage_index: int
+    ) -> _NFRuntimeSim:
+        """One NF instance on a fresh core, overflow hook attached."""
+        nf = self._nf_factory(entry.node.kind, label)
+        nf.telemetry = self.telemetry
+        self.nfs[label] = nf
+        runtime = _NFRuntimeSim(self, nf, stage_index, entry, self._new_core(label))
+        runtime.rx.on_drop = lambda pkt, rt=runtime: self._nf_ring_overflow(rt, pkt)
+        return runtime
 
     # ------------------------------------------------------------ ingress
     def inject(self, pkt: Packet) -> None:
@@ -360,6 +528,7 @@ class NFPServer:
         driver cost."""
         if pkt.ingress_us == 0.0:
             pkt.ingress_us = self.env.now
+        self.injected += 1
         try:
             self.pool.alloc(len(pkt.buf))
         except Exception:
@@ -371,11 +540,15 @@ class NFPServer:
 
         def rx():
             yield self.env.timeout(self.params.nic_io_us)
-            if not self.ingress.try_put(pkt):
-                self.lost += 1
-                self.telemetry.inc("drops.ingress_full")
+            self.ingress.try_put(pkt)  # overflow -> _ingress_overflow
 
         self.env.process(rx())
+
+    def _ingress_overflow(self, pkt: Packet) -> None:
+        self.lost += 1
+        self.telemetry.inc("drops.ingress_full")
+        self.telemetry.inc("ring.overflow_drop")
+        self._count_drop("ingress_full")
 
     def _classifier_loop(self):
         params = self.params
@@ -407,6 +580,8 @@ class NFPServer:
                 entry = self.chaining.classify(pkt.five_tuple())
                 if entry is None:
                     self.lost += 1
+                    self._count_drop("no_match")
+                    hub.inc("drops.no_match")
                     continue
                 graph = self.chaining.graph_for(entry.mid)
                 service = (
@@ -443,16 +618,23 @@ class NFPServer:
         return flow_key(pkt)
 
     def _assignment_for(self, key: Optional[tuple]) -> Dict[str, int]:
-        """RSS instance assignment across all scaled runtime groups."""
-        return assign_instances(key, self._scaled_counts)
+        """RSS instance assignment across all scaled runtime groups.
+
+        Failover-aware: groups with casualties rehash over their healthy
+        instances; fully healthy groups keep the historical mapping.
+        """
+        return assign_instances(key, self._scaled_counts,
+                                healthy=self.health.view())
 
     def _classify_one(self, pkt: Packet, decision: FlowDecision) -> float:
         """Tag metadata, run CT actions; returns extra core time spent."""
         ct_entry, graph = decision.ct_entry, decision.graph
         pid = self._next_pid = (self._next_pid + 1) % (1 << 40)
         pkt.meta = PacketMeta(mid=ct_entry.mid, pid=pid, version=ORIGINAL_VERSION)
-        state = FlightState(pkt, assignment=decision.assignment)
+        state = FlightState(pkt, assignment=decision.assignment,
+                            opened_us=self.env.now)
         self._flight[(ct_entry.mid, pid)] = state
+        self._maybe_sweep_flight()
 
         hub = self.telemetry
         if hub.enabled:
@@ -506,22 +688,37 @@ class NFPServer:
         return new_pkt, cost
 
     # ------------------------------------------------------ completion hook
-    def nf_complete(self, runtime: _NFRuntimeSim, pkt: Packet) -> float:
+    def nf_complete(self, runtime: _NFRuntimeSim, pkt: Packet,
+                    faulted: bool = False) -> float:
         """Bookkeeping after an NF finishes one packet.
 
         Runs the NF's functional logic result through the barrier state
         machine and executes FT actions.  Returns extra core time the
         runtime must charge (ring hops + copies it performed).
+
+        ``faulted`` marks a packet the NF never actually served (crash
+        abort, ring overflow): its version is recorded as dropped and
+        only the barrier/forwarding machinery runs, so the resulting nil
+        reaches the merger and the AT entry completes instead of
+        stranding.
         """
         meta = pkt.meta
         state = self._flight.get((meta.mid, meta.pid))
         if state is None:
             return 0.0
         graph = self.chaining.graph_for(meta.mid)
-        stage_index = runtime.stage_index
-        version = runtime.entry.version
+        placement = None
+        if runtime.group is not None:
+            placement = runtime.group.placements.get(meta.mid)
+        if placement is None:
+            stage_index, entry = runtime.stage_index, runtime.entry
+        else:
+            stage_index, entry = placement
+        version = entry.version
 
-        if not pkt.nil:
+        if faulted:
+            state.dropped.add(version)
+        elif not pkt.nil:
             ctx = runtime.nf.handle(pkt)
             if ctx.dropped:
                 state.dropped.add(version)
@@ -535,12 +732,10 @@ class NFPServer:
             if graph.needs_merger:
                 self._notify_merger(out_pkt)
                 extra += self.params.ring_hop_us
+            elif out_pkt.nil:
+                self.record_drop(out_pkt)
             else:
-                self._flight.pop((meta.mid, meta.pid), None)
-                if out_pkt.nil:
-                    self.record_drop(out_pkt)
-                else:
-                    self.emit(out_pkt)
+                self.emit(out_pkt)
             return extra
 
         # Mid-graph: version barrier.
@@ -585,7 +780,17 @@ class NFPServer:
 
     # ------------------------------------------------------------- egress
     def _post(self, ring: Ring, pkt: Packet, delay: Optional[float] = None) -> None:
-        """Deliver a reference after the pipeline's batch latency."""
+        """Deliver a reference after the pipeline's batch latency.
+
+        A full target ring is retried ``ring_retry_limit`` times with
+        ``ring_retry_backoff_us`` between attempts (0 retries by
+        default: fail-fast ``rte_ring`` semantics); the final failure
+        lands in the ring's ``on_drop`` hook, which accounts the loss
+        and completes the merger's AT entry.  When a fault injector is
+        attached, deliveries to a dead or hung instance are diverted to
+        :meth:`fault_abort` instead of piling up in a ring nobody
+        drains.
+        """
         wait = self.params.batch_wait_us if delay is None else delay
         hub = self.telemetry
         if hub.enabled:
@@ -594,16 +799,76 @@ class NFPServer:
 
         def delayed():
             yield self.env.timeout(wait)
-            if not ring.try_put(pkt):
-                self.lost += 1
-                hub.inc("drops.ring_full")
+            owner = getattr(ring, "owner", None)
+            if (owner is not None and self.injector is not None
+                    and self.injector.is_down(owner.nf.name)):
+                self.fault_abort(owner, pkt)
+                return
+            retries = self.params.ring_retry_limit
+            while ring.is_full and retries > 0:
+                retries -= 1
+                if hub.enabled:
+                    hub.inc("ring.retry")
+                yield self.env.timeout(self.params.ring_retry_backoff_us)
+            ring.try_put(pkt)  # overflow -> the ring's on_drop hook
 
         self.env.process(delayed())
+
+    # ----------------------------------------------- overflow & fault paths
+    def _nf_ring_overflow(self, runtime: _NFRuntimeSim, pkt: Packet) -> None:
+        """An NF rx ring rejected a delivery: account it, don't strand it.
+
+        The packet's version is recorded as dropped and pushed through
+        the barrier machinery as if the NF had completed it -- the
+        resulting nil flows downstream and the merger's AT entry
+        completes with a nil version instead of waiting forever for a
+        notification that can never arrive.
+        """
+        self.lost += 1
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc("drops.ring_full")
+            hub.inc("ring.overflow_drop")
+        self.fault_abort(runtime, pkt)
+
+    def _merger_overflow(self, pkt: Packet) -> None:
+        """A merger rx ring rejected a notification.
+
+        The AT entry (if any) is now short one notification; the AT
+        timeout sweeper reclaims it.  If no entry exists yet, the flight
+        sweeper catches the packet (fault runs) or the loss stays a
+        plain ``lost`` count (the paper's overload semantics).
+        """
+        self.lost += 1
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc("drops.ring_full")
+            hub.inc("ring.overflow_drop")
+
+    def fault_abort(self, runtime: _NFRuntimeSim, pkt: Packet) -> None:
+        """Abort a packet an instance will never serve (crash/overflow).
+
+        Reuses :meth:`nf_complete` with ``faulted=True``: the version is
+        nil'ed and barrier/forwarding bookkeeping runs, so downstream
+        stages and the merger account the packet naturally.  Stale
+        references (flight already reclaimed) are ignored.
+        """
+        meta = pkt.meta
+        if meta is None or (meta.mid, meta.pid) not in self._flight:
+            return
+        self.telemetry.inc("faults.aborted_packets")
+        self.nf_complete(runtime, pkt, faulted=True)
 
     def emit(self, pkt: Packet, extra_delay: float = 0.0) -> None:
         """Send a finished packet out of the NIC and record metrics."""
         if pkt.meta is not None:
-            self._flight.pop((pkt.meta.mid, pkt.meta.pid), None)
+            popped = self._flight.pop((pkt.meta.mid, pkt.meta.pid), None)
+            if popped is None and self.injector is not None:
+                # Already accounted by a timeout/failover path; a second
+                # emission would double-count the packet.
+                self.telemetry.inc("tx.stale")
+                return
+        self.emitted += 1
 
         def tx():
             if extra_delay > 0:
@@ -629,14 +894,178 @@ class NFPServer:
         self.env.process(tx())
 
     def record_drop(self, pkt: Optional[Packet]) -> None:
-        self.nil_dropped += 1
+        """An NF dropped the packet (nil reached the end of its graph)."""
+        if self.account_drop(pkt, "nil"):
+            self.nil_dropped += 1
+
+    def _count_drop(self, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    def account_drop(self, pkt: Optional[Packet], reason: str) -> bool:
+        """Reason-tag a dropped packet exactly once.
+
+        Pops the packet's flight state; when the state is already gone
+        (the packet was emitted or accounted by another path) nothing is
+        counted -- this is what makes the conservation ledger immune to
+        races between timeouts, failover and late notifications.
+        Packets without metadata (never classified) count directly.
+        """
+        hub = self.telemetry
+        if pkt is not None and pkt.meta is not None:
+            if self._flight.pop((pkt.meta.mid, pkt.meta.pid), None) is None:
+                if hub.enabled:
+                    hub.inc("drops.stale")
+                return False
+        self._count_drop(reason)
+        if hub.enabled:
+            hub.inc(f"drops.{reason}")
+            if pkt is not None:
+                hub.span(SpanKind.DROP, self.env.now, pkt.meta, name=reason)
+        return True
+
+    def conservation_report(self) -> Dict[str, object]:
+        """The packet ledger: injected == emitted + sum(drops) when clean.
+
+        ``unaccounted`` > 0 after a drained run means packets were
+        silently lost -- the invariant fault-mode fuzzing gates on.
+        """
+        accounted = self.emitted + sum(self.drops.values())
+        return {
+            "injected": self.injected,
+            "emitted": self.emitted,
+            "drops": dict(self.drops),
+            "unaccounted": self.injected - accounted,
+            "at_depth": sum(len(m.at) for m in self.mergers),
+            "flight_depth": len(self._flight),
+        }
+
+    # ------------------------------------------------- failover & recovery
+    def _on_health_transition(self, label: str, spec, state: HealthState) -> None:
+        """Injector callback: apply failover / degradation / pressure."""
+        if spec is not None and spec.kind is FaultKind.RING_PRESSURE:
+            name = base_name(label)
+            group = self.runtimes.get(name)
+            if group is not None:
+                index = group.index_of(label)
+                if index is not None:
+                    group.instances[index].rx.capacity = spec.ring_capacity
+            return
+        if not state.down:
+            return
+        name = base_name(label)
+        group = self.runtimes.get(name)
+        if group is None:
+            return
+        index = group.index_of(label)
+        if index is None:
+            return
+        hub = self.telemetry
+        hub.inc("failover.instance_down")
+        remaining = self.health.mark_down(name, index)
+        if remaining:
+            # Failover: future classifications rehash this NF's flows
+            # over the healthy instances; memoized decisions pinned to
+            # the casualty are invalidated (and counted) now.
+            if self.flow_cache is not None:
+                reassigned = sum(
+                    1 for decision in self.flow_cache.decisions()
+                    if decision.assignment.get(name) == index
+                )
+                if reassigned:
+                    self.reassigned_flows += reassigned
+                    hub.inc("failover.reassigned_flows", reassigned)
+                self.flow_cache.invalidate()
+            return
+        # Zero healthy instances left: degrade every parallel graph the
+        # NF participates in to its sequential linearization, and
+        # restart the NF (fresh state) to serve the degraded chain.
+        for mid in list(self.chaining.mids()):
+            graph = self.chaining.graph_for(mid)
+            if (name in graph.nf_names() and graph.has_parallelism
+                    and mid not in self.degraded_mids):
+                self.degraded_mids[mid] = self.degrade(mid)
+        self.restart_instance(name, index)
+
+    def degrade(self, mid: int) -> int:
+        """Fall back to the sequential linearization of graph ``mid``.
+
+        Installs the degraded chain under a fresh MID with the original
+        CT match, so new traffic re-classifies onto it (the flow cache
+        is invalidated by the install).  In-flight packets of the old
+        MID drain through the AT/flight timeouts; the old graph stays
+        resolvable for them.
+        """
+        graph = self.chaining.graph_for(mid)
+        seq = linearize(graph)
+        new_mid = max(self.chaining.mids()) + 1
+        old_entry = self.chaining.ct_entry_for(mid)
+        self.chaining.install(build_tables(seq, new_mid, match=old_entry.match))
+        for stage_index, stage in enumerate(seq.stages):
+            for entry in stage:
+                group = self.runtimes.get(entry.node.name)
+                if group is not None:
+                    group.placements[new_mid] = (stage_index, entry)
         hub = self.telemetry
         if hub.enabled:
-            hub.inc("drops.nil")
-            if pkt is not None:
-                hub.span(SpanKind.DROP, self.env.now, pkt.meta, name="nil")
-        if pkt is not None and pkt.meta is not None:
-            self._flight.pop((pkt.meta.mid, pkt.meta.pid), None)
+            hub.inc("failover.degraded_graphs")
+        return new_mid
+
+    def restart_instance(self, name: str, index: int) -> _NFRuntimeSim:
+        """Replace a dead/hung instance with a fresh runtime (new state).
+
+        The replacement gets a new label (``label~rN``), ring and core;
+        packets stranded in the casualty's old ring are reclaimed by the
+        flight sweeper.
+        """
+        group = self.runtimes[name]
+        old = group.instances[index]
+        group.restarts += 1
+        # Never reuse a dead instance's label: the crashed runtime may
+        # still observe its own health by name, and a revived same-name
+        # entry would hand it a HEALTHY verdict mid-crash.
+        label = f"{old.nf.name.split('~')[0]}~r{group.restarts}"
+        stage_index, entry = group.placements[min(group.placements)]
+        runtime = self._spawn_runtime(label, entry, stage_index)
+        runtime.stage_index = stage_index
+        runtime.entry = entry
+        group.instances[index] = runtime
+        runtime.group = group
+        self.health.mark_up(name, index)
+        self.telemetry.inc("failover.restarts")
+        return runtime
+
+    # ----------------------------------------------------- flight sweeping
+    def _maybe_sweep_flight(self) -> None:
+        """Arm the lazy flight sweeper (fault runs only).
+
+        The last-resort conservation backstop: reclaims per-packet state
+        older than twice the AT timeout -- packets wedged in a hung
+        instance's batch, stranded in a dead ring, or lost to a merger
+        ring overflow before any AT entry opened.  AT entries age out
+        first (1x), so anything still in flight at 2x has no other owner.
+        """
+        if (self._flight_sweeping or self.injector is None
+                or self.params.at_timeout_us <= 0):
+            return
+        self._flight_sweeping = True
+        self.env.process(self._sweep_flight())
+
+    def _sweep_flight(self):
+        timeout = 2.0 * self.params.at_timeout_us
+        interval = max(self.params.at_timeout_us / 2.0, 1.0)
+        hub = self.telemetry
+        while self._flight:
+            yield self.env.timeout(interval)
+            now = self.env.now
+            expired = [key for key, state in self._flight.items()
+                       if now - state.opened_us >= timeout]
+            for key in expired:
+                if self._flight.pop(key, None) is None:
+                    continue
+                self._count_drop("flight_timeout")
+                if hub.enabled:
+                    hub.inc("drops.flight_timeout")
+        self._flight_sweeping = False
 
     # ---------------------------------------------------------- telemetry
     def collect_telemetry(self) -> None:

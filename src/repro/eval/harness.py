@@ -27,7 +27,7 @@ from ..baselines.opennetvm import OpenNetVMServer
 from ..dataplane.server import NFPServer
 from ..nfs.base import create_nf
 from ..sim import DEFAULT_PARAMS, Environment, SimParams
-from ..telemetry.hooks import TelemetryHub
+from ..telemetry.hooks import NULL_HUB, TelemetryHub
 from ..traffic.generator import FIXED_64B, FlowGenerator, PacketSizeDistribution, TrafficSource
 from .model import bess_capacity, nfp_capacity, onvm_capacity
 
@@ -121,6 +121,7 @@ def measure_nfp(
     instances: Union[int, Mapping[str, int], None] = None,
     flow_cache: bool = False,
     flow_cache_size: int = 4096,
+    faults: Union[str, Sequence[str], None] = None,
 ) -> MeasurementResult:
     """Measure an NFP service graph end to end.
 
@@ -134,6 +135,13 @@ def measure_nfp(
     replicated NF's demand accordingly, and the offered rate follows.
     ``flow_cache=True`` enables the classifier's per-flow decision cache
     (``flow_cache_size`` entries) and models its steady-state hit cost.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan` spec string or list,
+    e.g. ``"crash:firewall:pkt=500"``) injects failures mid-run and
+    measures throughput/latency of what survives -- failover, AT
+    timeouts and degradation included.  Delivered counts under faults
+    depend on fault timing vs the offered load, so treat them as
+    workload-specific, not calibration anchors.
     """
     graph = as_graph(target)
     scale: Optional[Dict[str, int]] = None
@@ -158,9 +166,19 @@ def measure_nfp(
         nf.extra_cycles = extra_cycles
         return nf
 
+    injector = None
+    if faults:
+        from ..faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(
+            FaultPlan.parse(faults),
+            telemetry=telemetry if telemetry is not None else NULL_HUB,
+        )
+
     server = NFPServer(env, params, num_mergers=num_mergers, nf_factory=factory,
                        telemetry=telemetry,
-                       flow_cache_size=flow_cache_size if flow_cache else 0)
+                       flow_cache_size=flow_cache_size if flow_cache else 0,
+                       injector=injector)
     server.deploy(deployed_from_graph(graph), scale=scale)
     flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
     source = TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)

@@ -1,0 +1,27 @@
+"""Injectable failure model for the NFP reproduction.
+
+The paper's dataplane (§5) assumes every parallel branch eventually
+reaches the merger; this package makes the opposite a supported,
+observable scenario.  :mod:`~repro.faults.model` describes *what* fails
+(crash / hang / slow / ring pressure) and *when* (packet count or sim
+time); :mod:`~repro.faults.injector` tracks per-instance health and
+fires the scheduled faults; :mod:`~repro.faults.recovery` holds the
+pieces recovery shares across execution planes -- the health board the
+RSS splitter consults and the sequential linearization a micrograph
+degrades to when an NF kind has no healthy instance left.
+"""
+
+from .injector import FaultInjector, HealthState
+from .model import FaultKind, FaultPlan, FaultSpec, base_name
+from .recovery import HealthBoard, linearize
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "HealthState",
+    "HealthBoard",
+    "base_name",
+    "linearize",
+]

@@ -1,0 +1,168 @@
+"""Fault descriptions: what fails, where, and when.
+
+A :class:`FaultSpec` names one failure to inject into one NF instance
+(or any instance of an NF): the kind, the target, and a trigger -- a
+per-instance packet count or an absolute sim time.  Triggers are
+evaluated by the execution plane each time the target serves a packet,
+so a time trigger fires on the first packet at or after that time (a
+box that never sees traffic cannot crash mid-silence in this model).
+
+Specs parse from compact strings so they can ride on CLI flags::
+
+    crash                       first packet of any instance
+    hang:ids                    first packet of any ``ids`` instance
+    crash:fw#1:pkt=5            5th packet served by instance fw#1
+    slow:nat:t=200:x=8          nat runs 8x slower from t=200us on
+    ring:monitor:cap=4          shrink monitor's rx ring to 4 slots
+
+:class:`FaultPlan` is an ordered collection of specs (``"crash,hang"``
+parses to two untargeted specs); each spec fires at most once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "base_name"]
+
+#: Suffix introduced by restarted instances (``fw#1~r1``); stripped
+#: together with the replica suffix when matching a spec's target.
+_RESTART_SEP = "~"
+
+
+def base_name(label: str) -> str:
+    """The NF name behind an instance label (``fw#1~r2`` -> ``fw``)."""
+    return label.split(_RESTART_SEP)[0].split("#")[0]
+
+
+class FaultKind(enum.Enum):
+    """The four injectable failure modes."""
+
+    #: The instance dies: its in-flight batch and ring are aborted and
+    #: the runtime never serves another packet.
+    CRASH = "crash"
+    #: The instance wedges: it keeps its current batch forever and its
+    #: ring accepts packets nobody will drain (AT/flight timeouts and
+    #: failover are the only way out).
+    HANG = "hang"
+    #: The instance keeps working at ``slow_factor`` times its normal
+    #: service time (backpressure builds upstream).
+    SLOW = "slow"
+    #: Ring-overflow pressure: the instance's rx ring capacity collapses
+    #: to ``ring_capacity`` slots, forcing ``try_put`` overflow drops.
+    RING_PRESSURE = "ring"
+
+
+_ALIASES = {
+    "crash": FaultKind.CRASH,
+    "hang": FaultKind.HANG,
+    "slow": FaultKind.SLOW,
+    "ring": FaultKind.RING_PRESSURE,
+    "ring-pressure": FaultKind.RING_PRESSURE,
+    "ring_pressure": FaultKind.RING_PRESSURE,
+}
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled failure."""
+
+    kind: FaultKind
+    #: NF name or exact instance label; ``None`` matches any instance.
+    target: Optional[str] = None
+    #: Fire when the target has served this many packets (1-based).
+    at_packet: Optional[int] = None
+    #: Fire on the first packet served at or after this sim time (us).
+    at_time_us: Optional[float] = None
+    #: Service-time multiplier for :attr:`FaultKind.SLOW`.
+    slow_factor: float = 4.0
+    #: Collapsed rx-ring capacity for :attr:`FaultKind.RING_PRESSURE`.
+    ring_capacity: int = 4
+
+    def matches(self, label: str) -> bool:
+        if self.target is None:
+            return True
+        return label == self.target or base_name(label) == self.target
+
+    def triggered(self, packet_count: int, now_us: float) -> bool:
+        if self.at_packet is not None:
+            return packet_count >= self.at_packet
+        if self.at_time_us is not None:
+            return now_us >= self.at_time_us
+        return packet_count >= 1
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``kind[:target][:pkt=N][:t=US][:x=F][:cap=N]``."""
+        parts = [p for p in text.strip().split(":") if p]
+        if not parts:
+            raise ValueError("empty fault spec")
+        kind = _ALIASES.get(parts[0].lower())
+        if kind is None:
+            raise ValueError(
+                f"unknown fault kind {parts[0]!r} "
+                f"(choose from {sorted(_ALIASES)})")
+        spec = cls(kind)
+        for part in parts[1:]:
+            if "=" not in part:
+                spec.target = part
+                continue
+            key, _, value = part.partition("=")
+            key = key.lower()
+            if key in ("pkt", "packet"):
+                spec.at_packet = int(value)
+            elif key in ("t", "time"):
+                spec.at_time_us = float(value)
+            elif key in ("x", "factor"):
+                spec.slow_factor = float(value)
+            elif key == "cap":
+                spec.ring_capacity = int(value)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r} in {text!r}")
+        if spec.at_packet is not None and spec.at_packet < 1:
+            raise ValueError("at_packet is 1-based and must be >= 1")
+        if spec.slow_factor <= 0:
+            raise ValueError("slow_factor must be positive")
+        if spec.ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
+        return spec
+
+    def describe(self) -> str:
+        bits = [self.kind.value]
+        if self.target:
+            bits.append(self.target)
+        if self.at_packet is not None:
+            bits.append(f"pkt={self.at_packet}")
+        if self.at_time_us is not None:
+            bits.append(f"t={self.at_time_us:g}")
+        return ":".join(bits)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of fault specs; each fires at most once."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: Union[str, Sequence[str]]) -> "FaultPlan":
+        """Parse ``"crash,hang"`` / ``"crash:fw:pkt=3"`` / a list thereof."""
+        if isinstance(text, str):
+            chunks = [c for c in text.split(",") if c.strip()]
+        else:
+            chunks = [c for c in text if c.strip()]
+        return cls([FaultSpec.parse(chunk) for chunk in chunks])
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def describe(self) -> str:
+        return ",".join(spec.describe() for spec in self.specs)

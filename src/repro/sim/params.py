@@ -135,6 +135,24 @@ class SimParams:
 
     # ---------------------------------------------------------------- rings
     ring_capacity: int = 1024
+    #: Bounded queue-full policy for in-pipeline deliveries: how many
+    #: times a producer re-checks a full target ring before giving up
+    #: and dropping.  0 (the calibrated default) preserves the paper's
+    #: fail-fast ``rte_ring`` semantics; fault-tolerant runs raise it.
+    ring_retry_limit: int = 0
+    #: Backoff between ring-full retries.
+    ring_retry_backoff_us: float = 5.0
+
+    # ------------------------------------------------------ fault tolerance
+    #: Merger Accumulating Table entry timeout: an entry older than this
+    #: is reclaimed -- missing branches are treated as nil and whatever
+    #: arrived is merged (when version 1 and every merge source made it)
+    #: or accounted as an ``at_timeout`` drop.  <= 0 disables the
+    #: sweeper (entries can then strand forever, the paper's implicit
+    #: behaviour).  Also paces the server's flight-state sweeper, which
+    #: reclaims per-packet state at twice this age when a fault injector
+    #: is attached.
+    at_timeout_us: float = 50_000.0
 
     # ------------------------------------------------- measurement settings
     #: Default load at which latency is reported, as a fraction of the

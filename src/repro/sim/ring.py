@@ -18,7 +18,7 @@ Two flavours of consumption are offered:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional
 
 from .engine import Environment, Event
 
@@ -55,6 +55,12 @@ class Ring:
         self.enqueued = 0
         self.dropped = 0
         self.high_watermark = 0
+        #: Overflow hook: called with the rejected item whenever
+        #: ``try_put`` drops on a full ring, so owners (the NFP server)
+        #: can surface the loss -- telemetry, drop accounting, merger
+        #: notification -- instead of the item silently vanishing into
+        #: the local ``dropped`` counter.
+        self.on_drop: Optional[Callable[[Any], None]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -75,6 +81,8 @@ class Ring:
         """Enqueue ``item``; return ``False`` (and count a drop) if full."""
         if self.is_full:
             self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(item)
             return False
         self._deliver(item)
         return True

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import (
+    CompileError,
     MergeOpKind,
     NFSpec,
     Orchestrator,
@@ -10,6 +11,8 @@ from repro.core import (
     PolicyConflictError,
     compile_policy,
 )
+from repro.core.actions import Action, ActionProfile, Verb
+from repro.core.compiler import MAX_VERSIONS
 from repro.net import Field
 
 
@@ -186,3 +189,42 @@ def test_orchestrator_deploy_allocates_mids():
     assert [d.mid for d in orch.deployed()] == [b.mid]
     with pytest.raises(KeyError):
         orch.undeploy(a.mid)
+
+
+# ------------------------------------------- version-field bound (4 bits)
+def _same_field_writers(n):
+    """A chain of ``n`` NFs that all write the same field.
+
+    (WRITE, WRITE) on overlapping fields is parallelizable-with-copy in
+    both directions but never buffer-sharable, so the compiler must give
+    every NF its own packet version -- the worst case for the 4-bit
+    metadata version field.
+    """
+    orch = Orchestrator()
+    kinds = []
+    for i in range(n):
+        kind = f"scrub{i}"
+        orch.register_profile(
+            ActionProfile(kind, [Action(Verb.WRITE, Field.TTL)]))
+        kinds.append(kind)
+    return orch, Policy.from_chain(kinds)
+
+
+def test_fifteen_versions_fill_the_metadata_field_exactly():
+    orch, policy = _same_field_writers(MAX_VERSIONS)
+    graph = orch.compile(policy).graph
+    versions = set()
+    for stage in graph.stages:
+        versions |= stage.versions()
+    assert versions == set(range(1, MAX_VERSIONS + 1))
+    assert graph.num_versions == MAX_VERSIONS
+
+
+def test_sixteen_versions_rejected_with_compile_error():
+    orch, policy = _same_field_writers(MAX_VERSIONS + 1)
+    with pytest.raises(CompileError) as err:
+        orch.compile(policy)
+    assert "version" in str(err.value)
+    # CompileError is a ValueError so pre-existing callers that catch
+    # compilation failures broadly keep working.
+    assert isinstance(err.value, ValueError)
