@@ -254,6 +254,67 @@ def _replay_corpus(packets: int, seed: int) -> SpecOutcome:
     )
 
 
+def _placement_fig13(packets: int, seed: int) -> SpecOutcome:
+    """Fig. 13 chains placed onto a 4-server line; solvers compared.
+
+    Servers are sized (5 cores) so the north-south chain cannot fit one
+    box: the solvers must cut it across a link, and the DES measurement
+    of the heuristic's placement includes the real link serialisation.
+    The heuristic/brute/round-robin objectives ride along as extras, so
+    the report shows the optimality gap (heuristic == brute here) and
+    what the naive dealer would have cost.
+    """
+    from ..eval.harness import measure_placed
+    from ..placement import (
+        Slo,
+        Topology,
+        brute_force_place,
+        heuristic_place,
+        round_robin_place,
+    )
+
+    orch = Orchestrator()
+    topology = Topology.from_spec("line:4x5")
+    slo = Slo(max_delay_us=150.0, max_mpps=0.8)
+    requests = [
+        orch.request("north-south", Policy.from_chain(list(NORTH_SOUTH_CHAIN)),
+                     slo),
+        orch.request("west-east", Policy.from_chain(list(WEST_EAST_CHAIN)),
+                     slo),
+    ]
+    heuristic = heuristic_place(topology, requests)
+    brute = brute_force_place(topology, requests)
+    naive = round_robin_place(topology, requests)
+
+    placement = heuristic.placement_for("north-south")
+    tracer = Tracer()
+    hub = TelemetryHub(tracer=tracer)
+    result = measure_placed(
+        placement, packets=packets, seed=seed, telemetry=hub,
+        sizes=DATACENTER_MIX,
+        label=f"north-south@{'->'.join(placement.path)}",
+    )
+    extras = _counter_extras(hub)
+    extras.update({
+        "heuristic_objective_us": round(heuristic.objective_us, 3),
+        "brute_objective_us": round(brute.objective_us, 3),
+        "round_robin_objective_us": round(naive.objective_us, 3),
+        "heuristic_placed": len(heuristic.placements),
+        "brute_placed": len(brute.placements),
+        "round_robin_placed": len(naive.placements),
+        "predicted_delay_us": round(placement.delay_us, 3),
+        "servers_used": placement.num_servers,
+    })
+    return SpecOutcome(
+        measurement=measurement_to_dict(result),
+        rollup=stage_rollup(tracer.events),
+        extra_metrics=extras,
+        params={"packets": packets, "seed": seed, "topology": "line:4x5",
+                "slo_delay_us": slo.max_delay_us,
+                "slo_mpps": slo.max_mpps},
+    )
+
+
 def _firewall_specs() -> List[BenchmarkSpec]:
     specs = []
     for length in (2, 3, 4, 5, 6):
@@ -386,6 +447,14 @@ def _build_registry() -> Dict[str, BenchmarkSpec]:
                          sizes=DATACENTER_MIX, instances=2, flow_cache=True,
                          faults="crash:firewall:pkt=200",
                          label="north-south x2 crash"),
+    ))
+    specs.append(BenchmarkSpec(
+        name="placement_fig13",
+        description="Fig. 13 chains placed on a 4-server line under SLOs: "
+                    "DES latency of the heuristic plan; heuristic vs brute "
+                    "vs round-robin objectives as extras",
+        quick=True,
+        runner=_placement_fig13,
     ))
     specs.append(BenchmarkSpec(
         name="fuzz_corpus_replay",

@@ -312,6 +312,94 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_place(args) -> int:
+    """Place chains onto a topology under SLOs; print plan + utilisation."""
+    from .placement import Topology, Slo, round_robin_place
+
+    topo = Topology.from_spec(args.topology)
+    orch = Orchestrator()
+    requests = []
+    for chunk in args.chains.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, rest = chunk.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"chain {chunk!r} must look like name=nf1,nf2,... "
+                f"(optionally @<max_delay_us>)"
+            )
+        delay = args.max_delay_us
+        if "@" in rest:
+            rest, _, override = rest.partition("@")
+            delay = float(override)
+        chain = [part.strip() for part in rest.split(",") if part.strip()]
+        requests.append(orch.request(
+            name.strip(), Policy.from_chain(chain),
+            Slo(max_delay_us=delay, max_mpps=args.max_mpps),
+        ))
+    if not requests:
+        raise SystemExit("--chains is empty")
+
+    solvers = (["heuristic", "brute"] if args.solver == "both"
+               else [args.solver])
+    exit_code = 0
+    for solver in solvers:
+        if solver == "round-robin":
+            plan = round_robin_place(topo, requests)
+        else:
+            plan = orch.place(topo, requests, solver=solver,
+                              backups=not args.no_backup)
+        print(plan.describe())
+        print("\nserver utilisation:")
+        print(render_table(
+            ["server", "cores", "used", "util %", "mem MB used"],
+            [(name, topo.server(name).cores,
+              plan.ledger.cores_used[name], f"{util * 100:.0f}",
+              f"{plan.ledger.memory_used[name]:.0f}")
+             for name, util in sorted(plan.ledger.server_utilisation().items())],
+        ))
+        busy = {
+            name: util
+            for name, util in plan.ledger.link_utilisation().items()
+            if util > 0
+        }
+        if busy:
+            print("\nlink utilisation (loaded links):")
+            print(render_table(
+                ["link", "util %"],
+                [(name, f"{util * 100:.1f}")
+                 for name, util in sorted(busy.items())],
+            ))
+        if args.measure and plan.placements:
+            from .eval.harness import measure_placed
+            from .telemetry import TelemetryHub, multiserver_summary_table
+
+            hub = TelemetryHub()
+            rows = []
+            for placement in plan.placements:
+                result = measure_placed(placement, packets=args.packets,
+                                        telemetry=hub, topology=topo)
+                slo = placement.request.slo
+                rows.append([
+                    placement.request.name, "->".join(placement.path),
+                    f"{result.latency_p99_us:.1f}", f"{slo.max_delay_us:.1f}",
+                    "yes" if result.latency_p99_us <= slo.max_delay_us
+                    else "NO",
+                ])
+            print("\nDES validation (measured at committed rate):")
+            print(render_table(
+                ["chain", "path", "p99 us", "slo us", "meets slo"], rows))
+            summary = multiserver_summary_table(hub.registry)
+            if summary:
+                print("\nserver/link telemetry:")
+                print(summary)
+        if not plan.feasible:
+            exit_code = 1
+        print()
+    return exit_code
+
+
 def cmd_pairs(args) -> int:
     stats = compute_pair_statistics()
     names = sorted({a for a, _ in stats.per_pair})
@@ -467,6 +555,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--max-events", type=int, default=None,
                          help="cap stored span events (default: unbounded)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_place = sub.add_parser(
+        "place", help="place chains onto a topology under SLOs")
+    p_place.add_argument("--topology", required=True, metavar="SPEC",
+                         help="mesh:4x8 | line:3x6@25 | star:5x8@40 "
+                              "(<shape>:<servers>x<cores>[@<gbps>])")
+    p_place.add_argument("--chains", required=True, metavar="SPECS",
+                         help="semicolon-separated name=nf1,nf2,... chains; "
+                              "append @<us> to override --max-delay-us "
+                              "per chain")
+    p_place.add_argument("--max-delay-us", type=float, default=100.0,
+                         help="end-to-end delay SLO per chain (default 100)")
+    p_place.add_argument("--max-mpps", type=float, default=1.0,
+                         help="committed worst-case rate per chain "
+                              "(default 1.0)")
+    p_place.add_argument("--solver", default="heuristic",
+                         choices=["heuristic", "brute", "round-robin", "both"],
+                         help="placement solver; 'both' runs heuristic then "
+                              "brute for comparison")
+    p_place.add_argument("--no-backup", action="store_true",
+                         help="skip reserving disjoint backup placements")
+    p_place.add_argument("--measure", action="store_true",
+                         help="DES-validate each placement at its committed "
+                              "rate and print server/link telemetry")
+    p_place.add_argument("--packets", type=int, default=2000,
+                         help="packets per DES validation run (default 2000)")
+    p_place.set_defaults(func=cmd_place)
 
     p_pairs = sub.add_parser("pairs", help="§4.3 parallelizability matrix")
     p_pairs.set_defaults(func=cmd_pairs)

@@ -157,6 +157,52 @@ class Orchestrator:
         )
         return self.deploy(policy, match=match, scale=plan)
 
+    # ----------------------------------------------------------- placement
+    def request(self, name: str, policy: Union[Policy, str], slo, **kwargs):
+        """Compile ``policy`` into a placement :class:`ChainRequest`.
+
+        ``kwargs`` pass through (``anti_affinity``, ``partial_order``,
+        ``packet_size``); ``slo`` is a :class:`repro.placement.Slo`.
+        """
+        from ..placement import ChainRequest
+
+        graph = self.compile(policy).graph
+        return ChainRequest(name, graph, slo, **kwargs)
+
+    def place(
+        self,
+        topology,
+        chains,
+        params=None,
+        solver: str = "heuristic",
+        backups: bool = True,
+    ):
+        """Place compiled chains onto a topology under their SLOs.
+
+        ``chains`` is a list of :class:`repro.placement.ChainRequest`
+        (build them with :meth:`request`).  ``solver`` is ``heuristic``
+        (default, scales) or ``brute`` (exact, <= 4 servers).  With
+        ``backups`` each placed chain also reserves a server-disjoint
+        standby, so a PR-5 server crash fails over without replanning.
+        Returns the :class:`repro.placement.PlacementPlan`; unplaceable
+        chains land in ``plan.infeasible`` with the binding reason.
+        """
+        from ..placement import brute_force_place, heuristic_place, plan_backups
+        from ..sim.params import DEFAULT_PARAMS
+
+        if params is None:
+            params = DEFAULT_PARAMS
+        if solver == "brute":
+            plan = brute_force_place(topology, chains, params)
+        elif solver == "heuristic":
+            plan = heuristic_place(topology, chains, params)
+        else:
+            raise ValueError(f"unknown solver {solver!r} (heuristic|brute)")
+        if backups:
+            unprotected = plan_backups(plan, params)
+            plan.unprotected = unprotected
+        return plan
+
     def degrade(self, mid: int) -> DeployedGraph:
         """Deploy the sequential linearization of graph ``mid``.
 

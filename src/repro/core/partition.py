@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 from .graph import ServiceGraph, Stage
 
-__all__ = ["ServerSlice", "partition_graph", "PartitionError"]
+__all__ = ["ServerSlice", "partition_graph", "partition_at", "PartitionError"]
 
 #: Cores a server must reserve beyond NFs: classifier + merger (§6).
 _OVERHEAD_CORES = 2
@@ -53,6 +53,30 @@ class ServerSlice:
             f"ServerSlice(server={self.server_index}, "
             f"nfs={self.nf_names()}, cores={self.total_cores})"
         )
+
+
+def partition_at(graph: ServiceGraph, cuts: Sequence[int]) -> List[ServerSlice]:
+    """Slice ``graph`` at explicit stage boundaries.
+
+    ``cuts`` lists the stage indices that *start* a new server (index 0
+    is implicit): ``cuts=(2,)`` over four stages yields slices
+    ``[0,1]`` and ``[2,3]``.  This is the placement solvers' primitive:
+    they search over cut vectors instead of trusting the greedy
+    first-fit of :func:`partition_graph`.  Slices reuse the graph's own
+    :class:`~repro.core.graph.Stage` objects so
+    :func:`repro.multiserver.timed.slice_subgraph` can rebase them.
+    """
+    bounds = sorted(set(cuts))
+    if any(not 0 < cut < len(graph.stages) for cut in bounds):
+        raise PartitionError(
+            f"cut indices must fall inside (0, {len(graph.stages)}); got {cuts}"
+        )
+    starts = [0] + bounds
+    ends = bounds + [len(graph.stages)]
+    return [
+        ServerSlice(index, graph.stages[start:end])
+        for index, (start, end) in enumerate(zip(starts, ends))
+    ]
 
 
 def partition_graph(

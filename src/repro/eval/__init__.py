@@ -14,6 +14,7 @@ from .model import (
     nfp_capacity,
     nfp_latency_floor,
     onvm_capacity,
+    placed_capacity,
 )
 from .forced import forced_parallel, forced_sequential, forced_structure
 from .pair_stats import PairStatistics, TABLE2_NF_SET, compute_pair_statistics
@@ -51,6 +52,7 @@ __all__ = [
     "deployed_from_graph",
     "CapacityReport",
     "nfp_capacity",
+    "placed_capacity",
     "onvm_capacity",
     "bess_capacity",
     "nfp_latency_floor",

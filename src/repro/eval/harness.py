@@ -38,6 +38,7 @@ __all__ = [
     "measure_nfp",
     "measure_onvm",
     "measure_bess",
+    "measure_placed",
 ]
 
 
@@ -197,6 +198,89 @@ def measure_nfp(
         nil_dropped=server.nil_dropped,
         resource_overhead=server.pool.copy_overhead_fraction(),
         cores_used=server.cores_used,
+    )
+
+
+def measure_placed(
+    placement,
+    params: SimParams = DEFAULT_PARAMS,
+    packets: int = 3000,
+    sizes: PacketSizeDistribution = FIXED_64B,
+    num_mergers: int = 1,
+    load_fraction: Optional[float] = None,
+    num_flows: int = 64,
+    label: str = "",
+    seed: int = 1,
+    telemetry: Optional[TelemetryHub] = None,
+    topology=None,
+) -> MeasurementResult:
+    """DES-measure one placed chain on its planned servers and links.
+
+    Drives a :class:`repro.multiserver.TimedMultiServer` built from the
+    :class:`repro.placement.ChainPlacement` -- the placement's own
+    slices, each hop serialising at its link's bandwidth and paying its
+    propagation delay -- with Poisson arrivals at the chain's committed
+    worst-case rate (``slo.max_mpps``, scaled by ``load_fraction``).
+    The resulting p99 is the number the delay SLO is validated against:
+    the plan promised ``delay <= slo.max_delay_us`` from the zero-load
+    model, the DES shows what queueing at the committed rate adds.
+    """
+    from ..placement.runtime import build_timed  # local: avoids a cycle
+
+    request = placement.request
+    fraction = (
+        params.latency_load_fraction if load_fraction is None
+        else load_fraction
+    )
+    rate = max(1e-6, request.slo.max_mpps * fraction)
+
+    env = Environment(track_stats=telemetry is not None and telemetry.enabled)
+    plane = build_timed(
+        placement, env, params, num_mergers=num_mergers, telemetry=telemetry
+    )
+    flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
+    TrafficSource(env, plane.inject, rate, packets, flows=flows, seed=seed)
+    _drain(env)
+    for server in plane.servers:
+        server.collect_telemetry()
+    if telemetry is not None and telemetry.enabled:
+        # Publish the same gauge namespace the functional multi-server
+        # plane uses, so the ASCII exporter table covers DES runs too.
+        if topology is not None:
+            for name, server_slice in zip(placement.path, placement.slices):
+                capacity = topology.server(name).cores
+                if capacity > 0:
+                    telemetry.gauge(
+                        f"multiserver.server.{name}.core_util",
+                        server_slice.total_cores / capacity,
+                    )
+        for index, link in enumerate(plane.links):
+            if not link.frames:
+                continue
+            telemetry.inc(f"multiserver.link{index}.frames", link.frames)
+            telemetry.inc(f"multiserver.link{index}.bytes", link.bytes)
+            telemetry.gauge(
+                f"multiserver.link{index}.busy_us",
+                link.bytes * 8 / (link.gbps * 1000.0),
+            )
+            mean_bits = link.bytes * 8 / link.frames
+            telemetry.gauge(
+                f"multiserver.link{index}.occupancy",
+                rate * mean_bits / (link.gbps * 1000.0),
+            )
+
+    return MeasurementResult(
+        system="NFP-placed",
+        label=label or f"{request.name}@{'->'.join(placement.path)}",
+        **_latency_fields(plane.tail),
+        throughput_mpps=placement.capacity_mpps,
+        bottleneck=placement.bottleneck,
+        offered_mpps=rate,
+        delivered=plane.delivered,
+        lost=plane.lost,
+        nil_dropped=plane.nil_dropped,
+        resource_overhead=0.0,
+        cores_used=plane.cores_used,
     )
 
 

@@ -19,6 +19,7 @@ from ..sim.params import SimParams
 __all__ = [
     "CapacityReport",
     "nfp_capacity",
+    "placed_capacity",
     "onvm_capacity",
     "bess_capacity",
     "nfp_latency_floor",
@@ -131,6 +132,35 @@ def nfp_capacity(
         )
         demands["merger"] = per_packet / num_mergers
 
+    return _finish(demands, params.line_rate_mpps(packet_size))
+
+
+def placed_capacity(
+    graph: ServiceGraph,
+    slices: Sequence,
+    params: SimParams,
+    num_mergers: int = 1,
+    packet_size: int = 64,
+    scale: Optional[Mapping[str, int]] = None,
+) -> CapacityReport:
+    """Max lossless rate of a chain placed over several servers.
+
+    Each slice runs as a standalone NFP server, so the chain's rate is
+    the minimum over the slices' own bottlenecks; the winning component
+    is reported as ``server<i>:<component>``.  Used by the placement
+    solvers to check a candidate against a chain's [min,max] rate SLO.
+    """
+    from ..multiserver.timed import slice_subgraph  # local: avoids a cycle
+
+    demands: Dict[str, float] = {}
+    for server_slice in slices:
+        sub = slice_subgraph(graph, server_slice)
+        report = nfp_capacity(
+            sub, params, num_mergers=num_mergers, packet_size=packet_size,
+            scale=scale,
+        )
+        for name, demand in report.demands.items():
+            demands[f"server{server_slice.server_index}:{name}"] = demand
     return _finish(demands, params.line_rate_mpps(packet_size))
 
 

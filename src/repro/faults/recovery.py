@@ -70,6 +70,14 @@ class HealthBoard:
         count = self._counts.get(name)
         return count is not None and len(self._healthy[name]) < count
 
+    def up(self, name: str) -> bool:
+        """True while ``name`` keeps at least one healthy instance.
+
+        The placement runtime registers whole *servers* here (count 1),
+        so this doubles as "is the server alive" for path selection.
+        """
+        return bool(self.healthy(name))
+
     def view(self) -> Optional[Dict[str, List[int]]]:
         """Healthy map for ``assign_instances``; None when all-healthy."""
         partial = {

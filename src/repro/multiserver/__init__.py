@@ -12,6 +12,7 @@ from .dataplane import MultiServerDataplane, ServerStage, slice_merge_ops
 from .latency import (
     CrossServerLatency,
     estimate_cross_server_latency,
+    estimate_placed_latency,
     link_cost_us,
 )
 from .timed import TimedMultiServer, slice_subgraph
@@ -26,6 +27,7 @@ __all__ = [
     "ServerStage",
     "slice_merge_ops",
     "estimate_cross_server_latency",
+    "estimate_placed_latency",
     "CrossServerLatency",
     "link_cost_us",
     "TimedMultiServer",

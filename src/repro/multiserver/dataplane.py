@@ -132,20 +132,60 @@ class LinkStats:
 
 
 class MultiServerDataplane:
-    """A service graph spread over several servers, linked by NSH."""
+    """A service graph spread over several servers, linked by NSH.
+
+    Two construction modes:
+
+    * ``cores_per_server`` -- the legacy greedy first-fit split over
+      identical boxes (:func:`repro.core.partition.partition_graph`);
+    * ``slices`` -- an explicit placement (e.g. from
+      ``Orchestrator.place``), optionally with ``server_names``,
+      per-server ``server_cores`` and per-hop ``link_specs`` (objects
+      exposing ``gbps``/``propagation_us``) so the utilisation gauges
+      reflect the real topology.
+
+    With telemetry attached, the dataplane emits per-server
+    core-utilisation gauges (``multiserver.server.<name>.core_util``)
+    at deploy time and per-link occupancy gauges
+    (``multiserver.link<i>.busy_us`` wire time; plus
+    ``multiserver.link<i>.occupancy`` as a fraction of the link's rate
+    when ``offered_mpps`` is known) as frames cross.
+    """
 
     def __init__(
         self,
         graph: ServiceGraph,
-        cores_per_server: int,
+        cores_per_server: Optional[int] = None,
         path_id: int = 1,
         telemetry: Optional[TelemetryHub] = None,
+        slices: Optional[List[ServerSlice]] = None,
+        server_names: Optional[List[str]] = None,
+        server_cores: Optional[List[int]] = None,
+        link_specs: Optional[List] = None,
+        offered_mpps: Optional[float] = None,
     ):
         self.graph = graph
         self.path_id = path_id
         self.telemetry = telemetry if telemetry is not None else NULL_HUB
-        self.slices = partition_graph(graph, cores_per_server)
+        if slices is not None:
+            self.slices = list(slices)
+        elif cores_per_server is not None:
+            self.slices = partition_graph(graph, cores_per_server)
+            if server_cores is None:
+                server_cores = [cores_per_server] * len(self.slices)
+        else:
+            raise ValueError("need cores_per_server or an explicit slices list")
         self.servers = [ServerStage(graph, s) for s in self.slices]
+        if server_names is not None and len(server_names) != len(self.servers):
+            raise ValueError("one server name per slice required")
+        self.server_names = (
+            list(server_names) if server_names is not None
+            else [f"server{i}" for i in range(len(self.servers))]
+        )
+        if link_specs is not None and len(link_specs) != max(0, len(self.servers) - 1):
+            raise ValueError("one link spec per inter-server hop required")
+        self.link_specs = list(link_specs) if link_specs is not None else None
+        self.offered_mpps = offered_mpps
         for server in self.servers:
             for nf in server.nfs.values():
                 nf.telemetry = self.telemetry
@@ -153,6 +193,16 @@ class MultiServerDataplane:
         self._next_pid = 0
         self.emitted = 0
         self.dropped = 0
+        if self.telemetry.enabled and server_cores is not None:
+            for index, (name, server_slice) in enumerate(
+                zip(self.server_names, self.slices)
+            ):
+                capacity = server_cores[index]
+                if capacity > 0:
+                    self.telemetry.gauge(
+                        f"multiserver.server.{name}.core_util",
+                        server_slice.total_cores / capacity,
+                    )
 
     @property
     def num_servers(self) -> int:
@@ -205,6 +255,19 @@ class MultiServerDataplane:
                     hub.inc(f"multiserver.link{index}.bytes", carrier.wire_len)
                     if nil:
                         hub.inc(f"multiserver.link{index}.nil_frames")
+                    if self.link_specs is not None:
+                        spec = self.link_specs[index]
+                        hub.gauge(
+                            f"multiserver.link{index}.busy_us",
+                            link.bytes * 8 / (spec.gbps * 1000.0),
+                        )
+                        if self.offered_mpps:
+                            mean_bits = link.bytes * 8 / link.frames
+                            hub.gauge(
+                                f"multiserver.link{index}.occupancy",
+                                self.offered_mpps * mean_bits
+                                / (spec.gbps * 1000.0),
+                            )
                     # The functional pipeline has no clock; hop ordinal
                     # stands in for time so spans still order causally.
                     hub.span(SpanKind.ENQUEUE, float(index), pkt.meta,

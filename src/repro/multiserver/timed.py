@@ -15,7 +15,7 @@ single box is the real queueing + serialisation cost of the links.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..core.graph import ServiceGraph
 from ..core.partition import ServerSlice, partition_graph
@@ -51,15 +51,23 @@ def slice_subgraph(graph: ServiceGraph, server_slice: ServerSlice) -> ServiceGra
 
 
 class _Link:
-    """A point-to-point link between two slice servers."""
+    """A point-to-point link between two slice servers.
+
+    ``gbps``/``propagation_us`` override the NIC-rate default so a
+    placement over a heterogeneous topology serialises each hop at that
+    hop's real bandwidth and pays its propagation delay.
+    """
 
     def __init__(self, env: Environment, params: SimParams,
-                 downstream: NFPServer, index: int, path_id: int):
+                 downstream: NFPServer, index: int, path_id: int,
+                 gbps: float = 0.0, propagation_us: float = 0.0):
         self.env = env
         self.params = params
         self.downstream = downstream
         self.index = index
         self.path_id = path_id
+        self.gbps = gbps if gbps > 0 else params.nic_gbps
+        self.propagation_us = propagation_us
         self.frames = 0
         self.bytes = 0
 
@@ -68,10 +76,12 @@ class _Link:
         encapsulate(pkt, tag)
         self.frames += 1
         self.bytes += pkt.wire_len
-        wire_us = (pkt.wire_len + 20) * 8 / (self.params.nic_gbps * 1000.0)
+        wire_us = (pkt.wire_len + 20) * 8 / (self.gbps * 1000.0)
 
         def cross():
-            yield self.env.timeout(self.params.nic_io_us + wire_us)
+            yield self.env.timeout(
+                self.params.nic_io_us + wire_us + self.propagation_us
+            )
             decapsulate(pkt)
             self.downstream.inject(pkt)
 
@@ -86,28 +96,47 @@ class TimedMultiServer:
         env: Environment,
         params: SimParams,
         graph: ServiceGraph,
-        cores_per_server: int,
+        cores_per_server: Optional[int] = None,
         num_mergers: int = 1,
         path_id: int = 1,
+        slices: Optional[List[ServerSlice]] = None,
+        link_specs: Optional[List] = None,
+        telemetry=None,
     ):
         from ..eval.harness import deployed_from_graph
 
         self.env = env
         self.params = params
         self.graph = graph
-        self.slices = partition_graph(graph, cores_per_server)
+        if slices is not None:
+            self.slices = list(slices)
+        elif cores_per_server is not None:
+            self.slices = partition_graph(graph, cores_per_server)
+        else:
+            raise ValueError("need cores_per_server or an explicit slices list")
+        if link_specs is not None and len(link_specs) != max(0, len(self.slices) - 1):
+            raise ValueError("one link spec per inter-server hop required")
         self.servers: List[NFPServer] = []
         self.links: List[_Link] = []
 
         for server_slice in self.slices:
             sub = slice_subgraph(graph, server_slice)
-            server = NFPServer(env, params, num_mergers=num_mergers)
+            server = NFPServer(env, params, num_mergers=num_mergers,
+                               telemetry=telemetry)
             server.deploy(deployed_from_graph(sub, mid=path_id))
             self.servers.append(server)
 
         # Chain: server i's egress feeds server i+1 through a link.
         for index in range(len(self.servers) - 1):
-            link = _Link(env, params, self.servers[index + 1], index, path_id)
+            spec = link_specs[index] if link_specs is not None else None
+            link = _Link(
+                env, params, self.servers[index + 1], index, path_id,
+                gbps=getattr(spec, "gbps", 0.0) if spec is not None else 0.0,
+                propagation_us=(
+                    getattr(spec, "propagation_us", 0.0)
+                    if spec is not None else 0.0
+                ),
+            )
             self.links.append(link)
             self.servers[index].on_emit = link.send
 

@@ -1,0 +1,150 @@
+"""Chain placement requests: a compiled graph plus its SLO and constraints.
+
+A :class:`ChainRequest` is what an operator hands the placement layer
+per service chain: the compiled :class:`~repro.core.graph.ServiceGraph`
+(the solvers cut it at stage boundaries), an :class:`Slo` (max
+end-to-end delay, [min, max] offered rate), and two constraint kinds
+from the VNF placement literature (Allybokus et al.):
+
+* **anti-affinity** -- two NFs must not share a server (fault domains,
+  licensing, noisy neighbours);
+* **partial order** -- one NF must complete on a *strictly earlier*
+  server than another (e.g. scrubbing before the paid-per-core IDS box),
+  which forces a slice cut between them.
+
+Both constraint kinds resolve to properties of the cut vector, so the
+solvers check them without running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..core.graph import ServiceGraph
+
+__all__ = ["Slo", "ChainRequest", "RequestError"]
+
+
+class RequestError(ValueError):
+    """Raised for malformed chain requests."""
+
+
+@dataclass(frozen=True)
+class Slo:
+    """Per-chain service-level objective.
+
+    ``max_delay_us`` bounds the predicted zero-load end-to-end latency
+    of the placement (slice costs + link costs); the DES validates the
+    measured p99 against the same bound.  ``min_mpps``/``max_mpps``
+    bracket the offered rate: the placement must sustain ``max_mpps``
+    losslessly (servers *and* links), and ``min_mpps`` is the floor the
+    operator actually pays for.
+    """
+
+    max_delay_us: float
+    min_mpps: float = 0.0
+    max_mpps: float = 1.0
+
+    def __post_init__(self):
+        if self.max_delay_us <= 0:
+            raise RequestError("max_delay_us must be positive")
+        if self.min_mpps < 0 or self.max_mpps <= 0:
+            raise RequestError("rates must be non-negative (max > 0)")
+        if self.min_mpps > self.max_mpps:
+            raise RequestError(
+                f"min rate {self.min_mpps} exceeds max rate {self.max_mpps}"
+            )
+
+    def describe(self) -> str:
+        return (f"delay<={self.max_delay_us:g}us, "
+                f"rate=[{self.min_mpps:g},{self.max_mpps:g}]Mpps")
+
+
+@dataclass
+class ChainRequest:
+    """One chain the solvers must place."""
+
+    name: str
+    graph: ServiceGraph
+    slo: Slo
+    #: NF-name pairs that must land on different servers.
+    anti_affinity: Sequence[Tuple[str, str]] = field(default_factory=tuple)
+    #: NF-name pairs ``(a, b)``: ``a``'s server must come strictly
+    #: before ``b``'s on the chain's path.
+    partial_order: Sequence[Tuple[str, str]] = field(default_factory=tuple)
+    #: Average frame size used for link sizing and latency scoring.
+    packet_size: int = 64
+
+    def __post_init__(self):
+        known = set(self.graph.nf_names())
+        for pair in list(self.anti_affinity) + list(self.partial_order):
+            for nf in pair:
+                if nf not in known:
+                    raise RequestError(
+                        f"constraint names unknown NF {nf!r} "
+                        f"(chain {self.name!r} has {sorted(known)})"
+                    )
+
+    # ------------------------------------------------------- cut algebra
+    def stage_of(self, nf_name: str) -> int:
+        index, _ = self.graph.stage_of(nf_name)
+        return index
+
+    def constraints_satisfiable(self) -> Tuple[bool, str]:
+        """Whether any cut vector at all can satisfy the constraints.
+
+        Stages never span servers, so two NFs in the same stage can
+        never be separated; a partial order pointing backwards against
+        the compiled stage order is equally hopeless.
+        """
+        for a, b in self.anti_affinity:
+            if self.stage_of(a) == self.stage_of(b):
+                return False, (
+                    f"anti-affinity {a}|{b}: same stage, stages never "
+                    f"span servers"
+                )
+        for a, b in self.partial_order:
+            if self.stage_of(a) >= self.stage_of(b):
+                return False, (
+                    f"partial order {a}<{b}: {a} does not precede {b} "
+                    f"in the compiled graph"
+                )
+        return True, ""
+
+    def cuts_ok(self, cuts: Sequence[int]) -> bool:
+        """Whether a cut vector separates every constrained pair.
+
+        ``cuts`` lists the stage indices that start a new server (the
+        :func:`repro.core.partition.partition_at` convention).  A pair
+        is separated exactly when some cut falls in
+        ``(stage(a), stage(b)]``.
+        """
+        cut_set = set(cuts)
+
+        def separated(a: str, b: str) -> bool:
+            lo, hi = sorted((self.stage_of(a), self.stage_of(b)))
+            return any(lo < cut <= hi for cut in cut_set)
+
+        for a, b in self.anti_affinity:
+            if not separated(a, b):
+                return False
+        for a, b in self.partial_order:
+            if not separated(a, b):
+                return False
+        return True
+
+    #: Required NF cores if the whole chain sat on one server.
+    @property
+    def nf_cores(self) -> int:
+        return len(self.graph.nf_names())
+
+    def describe(self) -> str:
+        bits = [f"{self.name}: {self.graph.describe()} [{self.slo.describe()}]"]
+        if self.anti_affinity:
+            bits.append("anti-affinity " + ",".join(
+                f"{a}|{b}" for a, b in self.anti_affinity))
+        if self.partial_order:
+            bits.append("order " + ",".join(
+                f"{a}<{b}" for a, b in self.partial_order))
+        return "; ".join(bits)

@@ -34,6 +34,7 @@ from .export import (
     events_from_chrome_trace,
     events_from_jsonl,
     events_to_jsonl,
+    multiserver_summary_table,
     nf_summary_table,
     to_chrome_trace,
     write_chrome_trace,
@@ -61,4 +62,5 @@ __all__ = [
     "events_from_chrome_trace",
     "write_chrome_trace",
     "nf_summary_table",
+    "multiserver_summary_table",
 ]

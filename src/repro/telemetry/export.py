@@ -11,7 +11,11 @@ Three consumers, three formats:
   in ``cat`` and the packet key in ``args`` so the import direction can
   reconstruct :class:`~repro.telemetry.tracer.SpanEvent` objects;
 * ``nf_summary_table`` -- the per-NF ASCII summary the ``trace`` CLI
-  prints (processed / dropped / errors / service-time percentiles).
+  prints (processed / dropped / errors / service-time percentiles);
+* ``multiserver_summary_table`` -- per-server core utilisation and
+  per-link occupancy from the ``multiserver.*`` gauge namespace that
+  :class:`~repro.multiserver.dataplane.MultiServerDataplane` publishes,
+  plus any ``placement.*`` failover/drop counters.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ __all__ = [
     "events_from_chrome_trace",
     "write_chrome_trace",
     "nf_summary_table",
+    "multiserver_summary_table",
 ]
 
 
@@ -201,3 +206,66 @@ def nf_summary_table(registry: MetricsRegistry) -> str:
          "svc p99 us"],
         rows,
     )
+
+
+def multiserver_summary_table(registry: MetricsRegistry) -> str:
+    """Server/link ASCII summary from the ``multiserver.*`` namespace.
+
+    One row per server (core-utilisation gauge) and one per inter-server
+    link (frame/byte counters, wire-busy time and occupancy gauges),
+    followed by any ``placement.*`` counters (failovers, server-down
+    events, attributed drops).  Returns ``""`` when no multiserver run
+    has published anything, so callers can print it unconditionally.
+    """
+    from ..eval.report import render_table  # local: avoids a package cycle
+
+    parts: List[str] = []
+    server_prefix = "multiserver.server."
+    server_suffix = ".core_util"
+    gauges = registry.gauges
+    servers = sorted(
+        name[len(server_prefix):-len(server_suffix)]
+        for name in gauges
+        if name.startswith(server_prefix) and name.endswith(server_suffix)
+    )
+    if servers:
+        parts.append(render_table(
+            ["server", "core util %"],
+            [[name,
+              f"{gauges[server_prefix + name + server_suffix].value * 100:.1f}"]
+             for name in servers],
+        ))
+
+    link_prefix = "multiserver.link"
+    link_ids = sorted(
+        int(name[len(link_prefix):-len(".frames")])
+        for name in registry.counters
+        if name.startswith(link_prefix) and name.endswith(".frames")
+    )
+    if link_ids:
+        rows = []
+        for index in link_ids:
+            busy = gauges.get(f"{link_prefix}{index}.busy_us")
+            occupancy = gauges.get(f"{link_prefix}{index}.occupancy")
+            rows.append([
+                f"link{index}",
+                registry.counter_value(f"{link_prefix}{index}.frames"),
+                registry.counter_value(f"{link_prefix}{index}.bytes"),
+                registry.counter_value(f"{link_prefix}{index}.nil_frames"),
+                f"{busy.value:.2f}" if busy is not None else "-",
+                f"{occupancy.value * 100:.2f}" if occupancy is not None else "-",
+            ])
+        parts.append(render_table(
+            ["link", "frames", "bytes", "nil", "busy us", "occupancy %"],
+            rows,
+        ))
+
+    placement = sorted(
+        name for name in registry.counters if name.startswith("placement.")
+    )
+    if placement:
+        parts.append(render_table(
+            ["placement counter", "value"],
+            [[name, registry.counter_value(name)] for name in placement],
+        ))
+    return "\n".join(parts)

@@ -1,0 +1,138 @@
+"""Solver agreement: heuristic vs brute force on every small topology.
+
+The contract the heuristic is held to (satellite of the placement PR):
+
+* on every generated topology of <= 4 servers, the heuristic finds a
+  feasible plan whenever brute force does;
+* its objective (total predicted delay) stays within a declared
+  optimality band of the brute-force optimum;
+* chains whose SLOs are infeasible are reported by both solvers --
+  never silently violated by either.
+"""
+
+import pytest
+
+from repro.core import Orchestrator, Policy
+from repro.placement import (
+    ChainRequest,
+    Slo,
+    Topology,
+    brute_force_place,
+    heuristic_place,
+)
+from repro.sim.params import DEFAULT_PARAMS
+
+#: The heuristic must stay within this factor of the brute-force
+#: objective (total predicted delay, lower is better).
+OPTIMALITY_BAND = 1.25
+
+_GRAPHS = {}
+
+
+def compiled(kinds):
+    if kinds not in _GRAPHS:
+        _GRAPHS[kinds] = Orchestrator().compile(
+            Policy.from_chain(list(kinds))).graph
+    return _GRAPHS[kinds]
+
+
+def topologies():
+    """Every topology family at 2-4 servers, mixed core sizes."""
+    cases = []
+    for count in (2, 3, 4):
+        for cores in (5, 8):
+            cases.append((f"line:{count}x{cores}",
+                          Topology.line(count, cores)))
+            cases.append((f"mesh:{count}x{cores}",
+                          Topology.full_mesh(count, cores)))
+            if count >= 3:
+                cases.append((f"star:{count}x{cores}",
+                              Topology.star(count, cores)))
+    # One heterogeneous-link case: a fast and a slow hop.
+    topo = Topology.line(3, 8)
+    hetero = Topology()
+    for server in topo.servers.values():
+        hetero.add_server(server)
+    from repro.placement import Link
+    hetero.add_link(Link("s0", "s1", gbps=40.0))
+    hetero.add_link(Link("s1", "s2", gbps=10.0, propagation_us=2.0))
+    cases.append(("line:3x8-hetero", hetero))
+    return cases
+
+
+def workloads():
+    ns = ("vpn", "monitor", "firewall", "loadbalancer")
+    we = ("ids", "monitor", "loadbalancer")
+    return [
+        ("single", [ChainRequest("ns", compiled(ns),
+                                 Slo(max_delay_us=200.0, max_mpps=0.5))]),
+        ("pair", [ChainRequest("ns", compiled(ns),
+                               Slo(max_delay_us=200.0, max_mpps=0.5)),
+                  ChainRequest("we", compiled(we),
+                               Slo(max_delay_us=200.0, max_mpps=0.5))]),
+        ("tight-delay", [ChainRequest("ns", compiled(ns),
+                                      Slo(max_delay_us=60.0, max_mpps=0.5))]),
+        ("impossible", [ChainRequest("ns", compiled(ns),
+                                     Slo(max_delay_us=1.0, max_mpps=0.5))]),
+        ("ordered", [ChainRequest(
+            "ns", compiled(ns), Slo(max_delay_us=200.0, max_mpps=0.5),
+            partial_order=[("vpn", "loadbalancer")])]),
+    ]
+
+
+@pytest.mark.parametrize("topo_name,topology", topologies())
+@pytest.mark.parametrize("load_name,requests", workloads())
+def test_heuristic_agrees_with_brute_force(topo_name, topology,
+                                           load_name, requests):
+    brute = brute_force_place(topology, requests, DEFAULT_PARAMS)
+    heuristic = heuristic_place(topology, requests, DEFAULT_PARAMS)
+
+    brute_placed = {p.request.name for p in brute.placements}
+    heuristic_placed = {p.request.name for p in heuristic.placements}
+    # Every chain is accounted for: placed or reported infeasible.
+    all_names = {r.name for r in requests}
+    assert heuristic_placed | set(heuristic.infeasible) == all_names
+
+    # The heuristic places at least as many chains as the optimum does;
+    # when capacity forces a choice between chains, *which* chain wins
+    # may differ, but when brute force fits everything the heuristic
+    # must fit everything too.
+    assert len(heuristic_placed) >= len(brute_placed), (
+        f"{topo_name}/{load_name}: brute placed {sorted(brute_placed)} but "
+        f"heuristic only {sorted(heuristic_placed)} "
+        f"({heuristic.infeasible})"
+    )
+    if brute.feasible:
+        assert heuristic.feasible, (
+            f"{topo_name}/{load_name}: brute placed everything, heuristic "
+            f"reported {heuristic.infeasible}"
+        )
+
+    # Within the declared optimality band when both placed everything.
+    if brute_placed and brute_placed == heuristic_placed:
+        assert heuristic.objective_us <= (
+            brute.objective_us * OPTIMALITY_BAND + 1e-6), (
+            f"{topo_name}/{load_name}: heuristic {heuristic.objective_us:.1f}"
+            f"us vs brute {brute.objective_us:.1f}us"
+        )
+
+    # Infeasible SLOs are reported by both, never silently violated.
+    for name in set(brute.infeasible) & set(heuristic.infeasible):
+        assert brute.infeasible[name]
+        assert heuristic.infeasible[name]
+    for plan in (brute, heuristic):
+        for placement in plan.placements:
+            slo = placement.request.slo
+            assert placement.delay_us <= slo.max_delay_us + 1e-9
+            assert placement.capacity_mpps >= slo.max_mpps - 1e-9
+
+
+def test_impossible_slo_reported_by_both():
+    topology = Topology.full_mesh(3, 8)
+    req = ChainRequest(
+        "ns", compiled(("vpn", "monitor", "firewall", "loadbalancer")),
+        Slo(max_delay_us=1.0, max_mpps=0.5))
+    for solver in (brute_force_place, heuristic_place):
+        plan = solver(topology, [req], DEFAULT_PARAMS)
+        assert not plan.feasible
+        assert "delay" in plan.infeasible["ns"]
