@@ -37,6 +37,7 @@ then a deterministic topological sort (ties by declaration order).
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -57,7 +58,9 @@ from ..dataplane.functional import (
 )
 from ..dataplane.server import NFPServer
 from ..faults import FaultInjector, FaultPlan
+from ..net.recorder import AccessRecorder
 from ..nfs.base import create_nf
+from ..profiles import ProfileAuditor, hard_findings, infer_profiles
 from ..sim import DEFAULT_PARAMS, Environment
 from ..telemetry.hooks import NULL_HUB, TelemetryHub
 from .cases import FuzzCase
@@ -287,6 +290,7 @@ def run_case(
     telemetry: TelemetryHub = NULL_HUB,
     instances: int = 1,
     flow_cache: Optional[bool] = None,
+    audit_profiles: bool = False,
 ) -> CaseOutcome:
     """Run one differential case end to end.
 
@@ -299,6 +303,14 @@ def run_case(
     to a scaled deployment by construction.  ``flow_cache`` controls the
     DES classifier cache (default: on exactly when scaled, so both the
     cached and uncached classify paths see fuzz coverage).
+
+    ``audit_profiles`` arms the fourth oracle: the sequential-reference
+    pass runs with an :class:`AccessRecorder` attached, the observed
+    footprints are audited against this case's (possibly tweaked)
+    action table, and any undeclared access fails the case as
+    ``profile-violation`` with the JSON findings in ``detail``.  Do not
+    combine with fault injection: injected crashes surface as NF drops
+    the declarations never promised.
     """
     if instances < 1:
         raise ValueError("instances must be >= 1")
@@ -347,10 +359,28 @@ def run_case(
                        for name in order],
             instances,
         )
+    recorder = AccessRecorder() if audit_profiles else None
     seq_out: Dict[int, Optional[bytes]] = {}
     for spec in case.packets:
-        out = sequential.process(spec.build())
+        pkt = spec.build()
+        if recorder is not None:
+            pkt.recorder = recorder
+        out = sequential.process(pkt)
         seq_out[spec.ident] = None if out is None else bytes(out.buf)
+
+    if recorder is not None:
+        findings = hard_findings(
+            ProfileAuditor(table).audit(infer_profiles(recorder.events))
+        )
+        if findings:
+            detail = json.dumps(
+                [f.to_dict() for f in findings], sort_keys=True
+            )
+            return finish(CaseOutcome(
+                ok=False, kind="profile-violation", detail=detail,
+                case=case, packets=len(case.packets),
+                graph_desc=graph.describe(), reference=order,
+                instances=instances))
 
     functional = FunctionalDataplane(
         graph, scale=instances if instances > 1 else None)

@@ -76,6 +76,7 @@ def run_fuzz(
     log: Optional[Callable[[str], None]] = None,
     instances: int = 1,
     faults: Sequence[str] = (),
+    audit_profiles: bool = False,
 ) -> FuzzReport:
     """Run a seeded fuzzing session under a case/time budget.
 
@@ -92,6 +93,13 @@ def run_fuzz(
     :func:`repro.check.differential.run_fault_case` instead of byte
     equivalence.  Failures are not shrunk -- the fault schedule is part
     of the case, and dropping packets would shift every trigger.
+
+    ``audit_profiles`` arms the fourth oracle: every case records the
+    NFs' field accesses on the sequential plane and cross-checks the
+    inferred footprints against the declared action table (failure kind
+    ``profile-violation``).  Ignored in fault mode -- injected crashes
+    drop packets through the NF scope and would be misattributed as
+    undeclared drops.
     """
     tweaks = [ProfileTweak.parse(spec) for spec in inject]
     generator = CaseGenerator(
@@ -114,7 +122,8 @@ def run_fuzz(
                                      instances=instances)
         else:
             outcome = run_case(case, include_des=include_des,
-                               telemetry=telemetry, instances=instances)
+                               telemetry=telemetry, instances=instances,
+                               audit_profiles=audit_profiles)
         telemetry.inc("fuzz.cases")
         report.cases += 1
         report.packets += outcome.packets
@@ -127,7 +136,7 @@ def run_fuzz(
         if shrink and not faults:
             failure.shrunk = shrink_case(
                 case, include_des=include_des, telemetry=telemetry,
-                instances=instances)
+                instances=instances, audit_profiles=audit_profiles)
             if log:
                 log(f"case {index}: {failure.shrunk.summary()}")
             if out_dir:
@@ -173,13 +182,14 @@ def replay_corpus(
     include_des: bool = True,
     telemetry: TelemetryHub = NULL_HUB,
     instances: int = 1,
+    audit_profiles: bool = False,
 ) -> List[Tuple[str, CaseOutcome]]:
     """Re-run every ``*.json`` seed in ``corpus_dir`` (sorted, stable)."""
     results: List[Tuple[str, CaseOutcome]] = []
     for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
         case = FuzzCase.load(path)
         outcome = run_case(case, include_des=include_des, telemetry=telemetry,
-                           instances=instances)
+                           instances=instances, audit_profiles=audit_profiles)
         telemetry.inc("fuzz.cases")
         results.append((path, outcome))
     return results

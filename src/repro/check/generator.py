@@ -42,6 +42,8 @@ NF_POOL: Tuple[str, ...] = (
     "firewall", "monitor", "loadbalancer", "nat", "forwarder",
     "ids", "nids", "ips", "vpn", "vpn-decrypt", "proxy",
     "compression", "gateway", "caching", "shaper",
+    "macswap", "vlan-push", "vlan-pop", "vxlan-encap", "vxlan-decap",
+    "dedup",
 )
 
 #: Fields sound to over-declare as reads.
@@ -119,6 +121,13 @@ class CaseGenerator:
             first = min(kinds.index("vpn"), kinds.index("vpn-decrypt"))
             last = max(kinds.index("vpn"), kinds.index("vpn-decrypt"))
             kinds[first], kinds[last] = "vpn", "vpn-decrypt"
+        # Poppers/decapsulators are transparent on untagged traffic --
+        # valid but under-exercised; usually pair them with their
+        # pusher so the remove path actually runs.
+        for popper, pusher in (("vlan-pop", "vlan-push"),
+                               ("vxlan-decap", "vxlan-encap")):
+            if popper in kinds and pusher not in kinds and rng.random() < 0.75:
+                kinds.insert(kinds.index(popper), pusher)
         seen: dict = {}
         instances = []
         for kind in kinds:

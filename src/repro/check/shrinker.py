@@ -59,9 +59,11 @@ def shrink_case(
     max_runs: int = 400,
     telemetry: TelemetryHub = NULL_HUB,
     instances: int = 1,
+    audit_profiles: bool = False,
 ) -> ShrinkResult:
     """Minimize ``case`` while it keeps failing with the same kind."""
-    baseline = run_case(case, include_des=include_des, instances=instances)
+    baseline = run_case(case, include_des=include_des, instances=instances,
+                        audit_profiles=audit_profiles)
     if baseline.ok:
         raise ValueError("shrink_case needs a failing case")
     kind = baseline.kind
@@ -69,6 +71,9 @@ def shrink_case(
     # the failure is DES-specific.
     probe_des = include_des and (
         kind.startswith("des-") or kind == "meta-mismatch")
+    # Profile violations surface before the dataplane comparison, so the
+    # probes only need the audit armed when that is the kind we chase.
+    probe_audit = audit_profiles and kind == "profile-violation"
 
     state = {"runs": 0, "best": case, "best_outcome": baseline}
 
@@ -79,7 +84,8 @@ def shrink_case(
         telemetry.inc("fuzz.shrink_steps")
         try:
             outcome = run_case(candidate, include_des=probe_des,
-                               instances=instances)
+                               instances=instances,
+                               audit_profiles=probe_audit)
         except Exception:
             return False
         if not outcome.ok and outcome.kind == kind:
@@ -95,11 +101,13 @@ def shrink_case(
     final_case = replace(
         state["best"], case_id=f"{case.case_id}-min") \
         if state["best"] is not case else case
-    final = run_case(final_case, include_des=include_des, instances=instances)
+    final = run_case(final_case, include_des=include_des, instances=instances,
+                     audit_profiles=audit_profiles)
     if final.ok or final.kind != kind:  # paranoid re-check with full planes
         final_case = replace(case, case_id=f"{case.case_id}-min")
         final = run_case(final_case, include_des=include_des,
-                         instances=instances)
+                         instances=instances,
+                         audit_profiles=audit_profiles)
     return ShrinkResult(
         case=final_case,
         outcome=final,
@@ -208,7 +216,7 @@ CASE_JSON = r"""
 
 def test_repro_{digest}():
     outcome = run_case(FuzzCase.from_json(CASE_JSON), include_des={include_des},
-                       instances={instances})
+                       instances={instances}, audit_profiles={audit_profiles})
     assert outcome.ok, f"{{outcome.kind}}: {{outcome.detail}}"
 '''
 
@@ -236,5 +244,6 @@ def write_repro(
             digest=digest,
             include_des=include_des,
             instances=instances,
+            audit_profiles=result.outcome.kind == "profile-violation",
         ))
     return json_path, test_path

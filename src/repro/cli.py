@@ -26,7 +26,13 @@ fuzz
     Differential fuzzing: random valid policies + adversarial traffic
     through the sequential reference, the functional parallel dataplane,
     and the timed DES dataplane; failures are delta-debug-shrunk to a
-    committable JSON seed + pytest repro.
+    committable JSON seed + pytest repro.  ``--audit-profiles`` arms the
+    fourth oracle: recorded field accesses are cross-checked against the
+    declared action table per case.
+profile-audit
+    Run NFs over adversarial generated traffic with the access recorder
+    attached, infer per-kind footprints, and print the inferred vs
+    declared table; exits non-zero on any undeclared access.
 sweep
     Plot a Fig. 9-style busy-cycle sweep or a Fig. 11-style degree
     sweep as a terminal chart.
@@ -195,7 +201,8 @@ def cmd_fuzz(args) -> int:
 
     if args.replay:
         results = replay_corpus(args.replay, include_des=include_des,
-                                telemetry=hub, instances=args.instances)
+                                telemetry=hub, instances=args.instances,
+                                audit_profiles=args.audit_profiles)
         failures = 0
         for path, outcome in results:
             status = "ok" if outcome.ok else f"FAIL {outcome.kind}"
@@ -209,6 +216,11 @@ def cmd_fuzz(args) -> int:
     faults = tuple(
         kind.strip() for kind in (args.faults or "").split(",") if kind.strip()
     )
+    if faults and args.audit_profiles:
+        raise SystemExit(
+            "--audit-profiles cannot be combined with --faults: injected "
+            "crashes drop packets inside the NF scope and would be "
+            "misattributed as undeclared drops")
     report = run_fuzz(
         cases=args.cases,
         seed=args.seed,
@@ -224,6 +236,7 @@ def cmd_fuzz(args) -> int:
         log=lambda line: print(f"  {line}"),
         instances=args.instances,
         faults=faults,
+        audit_profiles=args.audit_profiles,
     )
 
     counters = hub.registry
@@ -254,6 +267,40 @@ def cmd_fuzz(args) -> int:
                   f"{failure.shrunk.packets} packet(s)")
         if failure.test_path:
             print(f"    repro: {failure.json_path}  {failure.test_path}")
+    return 1
+
+
+def cmd_profile_audit(args) -> int:
+    """Infer NF footprints from traced execution; diff against the table."""
+    from .profiles import audit_catalog
+
+    report = audit_catalog(
+        kinds=args.nf or None,
+        cases=args.cases,
+        seed=args.seed,
+        packets_per_case=args.packets,
+    )
+    print(render_table(
+        ["kind", "packets", "inferred", "declared", "hard", "info"],
+        [[row["kind"], row["packets"], row["inferred"], row["declared"],
+          row["hard"], row["info"]] for row in report.rows()],
+    ))
+    print(f"\ncases   : {report.cases} ({report.packets} packets)")
+    print(f"kinds   : {len(report.inferred)} audited")
+    hard = report.hard
+    info = [f for f in report.findings if not f.hard]
+    if args.verbose and info:
+        print("\ninfo findings (declared but never observed):")
+        for finding in info:
+            print(f"  {finding.kind}: {finding.message}")
+    if not hard:
+        print("result  : every observed access is covered by its "
+              "declared profile")
+        return 0
+    print(f"result  : {len(hard)} hard finding(s) -- declared profiles "
+          "under-approximate the observed footprint:")
+    for finding in hard:
+        print(f"  {finding.kind}: {finding.message}")
     return 1
 
 
@@ -621,7 +668,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stop after this many failures (default 3)")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
+    p_fuzz.add_argument("--audit-profiles", action="store_true",
+                        help="arm the profile oracle: record every NF field "
+                             "access on the sequential plane and fail the "
+                             "case on undeclared reads/writes/adds/removes/"
+                             "drops (incompatible with --faults)")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_audit = sub.add_parser(
+        "profile-audit",
+        help="infer NF action profiles from traced execution and diff "
+             "against the declared table")
+    p_audit.add_argument("--cases", type=int, default=200,
+                         help="generated traffic cases (default 200)")
+    p_audit.add_argument("--seed", type=int, default=0,
+                         help="traffic generator seed (default 0)")
+    p_audit.add_argument("--packets", type=int, default=8,
+                         help="packets per case (default 8)")
+    p_audit.add_argument("--nf", action="append", metavar="KIND",
+                         help="audit an explicit chain of kinds in order "
+                              "(repeatable); default: every catalog NF via "
+                              "generated policies")
+    p_audit.add_argument("-v", "--verbose", action="store_true",
+                         help="also print info findings (declared-but-"
+                              "unobserved actions)")
+    p_audit.set_defaults(func=cmd_profile_audit)
 
     p_replay = sub.add_parser("replay", help="replay a pcap through a graph")
     p_replay.add_argument("--policy", help="policy DSL file")

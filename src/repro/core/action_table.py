@@ -100,10 +100,12 @@ TABLE2_ROWS: Dict[str, Tuple[List[Action], Optional[float]]] = {
         None,
     ),
     # The paper's prototype also implements these two (§6.1); profile-wise
-    # the L3 forwarder reads DIP (LPM) and decrements TTL, while the IDS
-    # matches the NIDS profile.
+    # the L3 forwarder reads DIP (LPM), decrements TTL (a read-modify-
+    # write) and drops expired or unroutable packets, while the IDS
+    # matches the NIDS profile.  The TTL read and the drop were found by
+    # the profile-audit oracle: the original transcription omitted both.
     "forwarder": (
-        _acts(reads=(Field.DIP,), writes=(Field.TTL,)),
+        _acts(reads=(Field.DIP, Field.TTL), writes=(Field.TTL,), drop=True),
         None,
     ),
     "ids": (
@@ -132,6 +134,24 @@ TABLE2_ROWS: Dict[str, Tuple[List[Action], Optional[float]]] = {
             removes=(Field.AH_HEADER,),
             drop=True,
         ),
+        None,
+    ),
+    # ---- Lemur-module expansion (not in Table 2; excluded from the
+    # §4.3 pair statistics, which pin TABLE2_NF_SET).  Their disjoint
+    # L2/tunnel footprints widen compiled graphs.
+    "macswap": (
+        _acts(reads=(Field.SMAC, Field.DMAC), writes=(Field.SMAC, Field.DMAC)),
+        None,
+    ),
+    "vlan-push": (_acts(adds=(Field.VLAN_HEADER,)), None),
+    "vlan-pop": (_acts(removes=(Field.VLAN_HEADER,)), None),
+    "vxlan-encap": (_acts(adds=(Field.VXLAN_HEADER,)), None),
+    "vxlan-decap": (
+        _acts(reads=(Field.DPORT,), removes=(Field.VXLAN_HEADER,)),
+        None,
+    ),
+    "dedup": (
+        _acts(reads=(Field.PAYLOAD,), writes=(Field.DSCP,)),
         None,
     ),
 }

@@ -28,7 +28,11 @@ outputs):
   resolves the drop through nil packets at the merger.
 * ``(Read, Add/Rm)`` / ``(Write, Add/Rm)`` parallelize with a copy: the
   structural change happens on NF2's own version and the merger splices
-  the added header into the final packet.
+  the added header into the final packet.  This only holds for units the
+  field accessors parse *through* (AH, the VLAN tag); add/remove of an
+  encapsulating outer stack (VXLAN) re-homes every field referent and is
+  never parallelizable, in either direction (see
+  :attr:`repro.net.fields.Field.is_encapsulating`).
 """
 
 from __future__ import annotations
@@ -180,6 +184,13 @@ def identify_parallelism(
     """
     conflicting: List[Tuple[Action, Action]] = []
     for a1, a2 in nf1.action_pairs(nf2):
+        # Encapsulation guard: adding/removing an outer stack (VXLAN)
+        # re-homes every field accessor, so no copy/merge discipline can
+        # reconcile it with *any* concurrent action -- not even the
+        # (Read, Add)-with-copy cell that works for offset-transparent
+        # units like AH or a VLAN tag.
+        if _encapsulation_conflict(a1, a2):
+            return ParallelismResult(False)
         # Lines 6-9: read-write / write-write are decided by field overlap
         # (OP#1, Dirty Memory Reusing).  A table override of these cells
         # disables the optimisation (used by the ablation benchmarks).
@@ -194,6 +205,13 @@ def identify_parallelism(
             conflicting.append((a1, a2))
         # NO_COPY: continue.
     return ParallelismResult(True, conflicting)
+
+
+def _encapsulation_conflict(a1: Action, a2: Action) -> bool:
+    return any(
+        a.verb.is_structural and a.field is not None and a.field.is_encapsulating
+        for a in (a1, a2)
+    )
 
 
 def can_share_buffer(

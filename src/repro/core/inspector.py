@@ -17,8 +17,11 @@ Pattern in NF source                             Derived action
 ``pkt.payload`` (load)                           Read(PAYLOAD)
 ``pkt.set_payload(...)``                         Write(PAYLOAD)
 ``ctx.drop()`` / ``self.drop_packet(...)``       Drop
+``pkt.eth.src_mac`` / ``.dst_mac``               Read/Write(SMAC/DMAC)
 ``insert_ah(pkt, ...)``                          Add(AH_HEADER)
 ``remove_ah(pkt, ...)``                          Remove(AH_HEADER)
+``insert_vlan`` / ``remove_vlan``                Add/Remove(VLAN_HEADER)
+``vxlan_encap`` / ``vxlan_decap``                Add/Remove(VXLAN_HEADER)
 ``pkt.five_tuple()``                             Read(SIP,DIP,SPORT,DPORT)
 ===============================================  =======================
 
@@ -53,6 +56,18 @@ _ATTR_FIELDS = {
     "ttl": Field.TTL,
     "dscp": Field.DSCP,
     "payload": Field.PAYLOAD,
+    "src_mac": Field.SMAC,
+    "dst_mac": Field.DMAC,
+}
+
+# Structural helper call -> (verb, field unit).
+_STRUCTURAL_CALLS = {
+    "insert_ah": (Verb.ADD, Field.AH_HEADER),
+    "remove_ah": (Verb.REMOVE, Field.AH_HEADER),
+    "insert_vlan": (Verb.ADD, Field.VLAN_HEADER),
+    "remove_vlan": (Verb.REMOVE, Field.VLAN_HEADER),
+    "vxlan_encap": (Verb.ADD, Field.VXLAN_HEADER),
+    "vxlan_decap": (Verb.REMOVE, Field.VXLAN_HEADER),
 }
 
 _FIVE_TUPLE_FIELDS = (Field.SIP, Field.DIP, Field.SPORT, Field.DPORT)
@@ -95,10 +110,9 @@ class _ActionCollector(ast.NodeVisitor):
             self.actions.add(Action(Verb.WRITE, Field.PAYLOAD))
         elif name in ("drop", "drop_packet"):
             self.actions.add(Action(Verb.DROP))
-        elif name == "insert_ah":
-            self.actions.add(Action(Verb.ADD, Field.AH_HEADER))
-        elif name == "remove_ah":
-            self.actions.add(Action(Verb.REMOVE, Field.AH_HEADER))
+        elif name in _STRUCTURAL_CALLS:
+            verb, field = _STRUCTURAL_CALLS[name]
+            self.actions.add(Action(verb, field))
         elif name == "five_tuple":
             for field in _FIVE_TUPLE_FIELDS:
                 self.actions.add(Action(Verb.READ, field))

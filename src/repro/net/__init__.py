@@ -10,9 +10,11 @@ from .checksum import internet_checksum, pseudo_header_checksum
 from .headers import (
     ETH_HEADER_LEN,
     ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
     PROTO_AH,
     PROTO_TCP,
     PROTO_UDP,
+    VLAN_TAG_LEN,
     AhView,
     EthernetView,
     Ipv4View,
@@ -25,9 +27,22 @@ from .headers import (
 )
 from .packet import HEADER_COPY_BYTES, Packet, PacketMeta, build_packet
 from .fields import Field, read_field, write_field
+from .recorder import AccessEvent, AccessRecorder, RECORD_VERBS
 from .lpm import LpmTable
 from .crypto import Aes128, aes_ctr_transform, compute_icv
 from .ah import insert_ah, remove_ah, verify_ah
+from .encap import (
+    VXLAN_HEADER_LEN,
+    VXLAN_OUTER_LEN,
+    VXLAN_PORT,
+    insert_vlan,
+    is_vxlan,
+    remove_vlan,
+    vlan_tci,
+    vxlan_decap,
+    vxlan_encap,
+    vxlan_vni,
+)
 from .pcap import PcapError, read_pcap, write_pcap
 
 __all__ = [
@@ -61,6 +76,21 @@ __all__ = [
     "insert_ah",
     "remove_ah",
     "verify_ah",
+    "ETHERTYPE_VLAN",
+    "VLAN_TAG_LEN",
+    "VXLAN_PORT",
+    "VXLAN_HEADER_LEN",
+    "VXLAN_OUTER_LEN",
+    "AccessEvent",
+    "AccessRecorder",
+    "RECORD_VERBS",
+    "insert_vlan",
+    "remove_vlan",
+    "vlan_tci",
+    "is_vxlan",
+    "vxlan_encap",
+    "vxlan_decap",
+    "vxlan_vni",
     "write_pcap",
     "read_pcap",
     "PcapError",

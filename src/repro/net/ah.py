@@ -11,7 +11,8 @@ fields, and stamp/verify the ICV.
 from __future__ import annotations
 
 from .crypto import compute_icv
-from .headers import ETH_HEADER_LEN, PROTO_AH, AhView
+from .fields import Field
+from .headers import PROTO_AH, AhView
 from .packet import Packet
 
 __all__ = ["insert_ah", "remove_ah", "verify_ah"]
@@ -26,8 +27,11 @@ def insert_ah(pkt: Packet, spi: int, seq: int, icv_key: bytes) -> None:
     ip = pkt.ipv4
     if ip.protocol == PROTO_AH:
         raise ValueError("packet already carries an AH")
-    ip_end = ETH_HEADER_LEN + ip.header_len
+    ip_end = pkt.l3_offset + ip.header_len
     next_header = ip.protocol
+    rec = pkt.recorder
+    if rec is not None:
+        rec.record("add", Field.AH_HEADER, pkt.uid)
 
     ah_bytes = bytearray(AhView.HEADER_LEN)
     pkt.buf[ip_end:ip_end] = ah_bytes  # splice in place
@@ -53,8 +57,11 @@ def remove_ah(pkt: Packet, icv_key: bytes = b"", verify: bool = False) -> None:
     ip = pkt.ipv4
     if ip.protocol != PROTO_AH:
         raise ValueError("packet carries no AH")
-    ip_end = ETH_HEADER_LEN + ip.header_len
+    ip_end = pkt.l3_offset + ip.header_len
     ah = AhView(pkt.buf, ip_end)
+    rec = pkt.recorder
+    if rec is not None:
+        rec.record("remove", Field.AH_HEADER, pkt.uid)
     if verify and not verify_ah(pkt, icv_key):
         raise ValueError("AH integrity check failed")
     next_header = ah.next_header
@@ -72,14 +79,14 @@ def verify_ah(pkt: Packet, icv_key: bytes) -> bool:
     ip = pkt.ipv4
     if ip.protocol != PROTO_AH:
         return False
-    ip_end = ETH_HEADER_LEN + ip.header_len
+    ip_end = pkt.l3_offset + ip.header_len
     ah = AhView(pkt.buf, ip_end)
     return ah.icv == compute_icv(icv_key, _icv_scope(pkt, ip_end))
 
 
 def _icv_scope(pkt: Packet, ip_end: int) -> bytes:
     """Bytes covered by the ICV: src/dst IPs plus everything after the AH."""
-    ip = pkt.ipv4
-    addresses = bytes(pkt.buf[ETH_HEADER_LEN + 12 : ETH_HEADER_LEN + 20])
+    l3 = pkt.l3_offset
+    addresses = bytes(pkt.buf[l3 + 12 : l3 + 20])
     after_ah = bytes(pkt.buf[ip_end + AhView.HEADER_LEN :])
     return addresses + after_ah

@@ -14,10 +14,12 @@ is too -- IPv4/TCP/UDP plus the AH header the VPN NF adds.
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from .headers import PROTO_TCP, PROTO_UDP
-from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .packet import Packet
 
 __all__ = ["Field", "read_field", "write_field", "FIELD_ACCESSORS"]
 
@@ -32,8 +34,15 @@ class Field(enum.Enum):
     TTL = "ttl"
     DSCP = "dscp"
     PAYLOAD = "payload"
+    #: Ethernet source/destination MAC (L2 NFs: MAC swap, learning switch).
+    SMAC = "smac"
+    DMAC = "dmac"
     #: Structural unit: the IPsec Authentication Header (added/removed).
     AH_HEADER = "ah"
+    #: Structural unit: the 802.1Q VLAN tag (4 bytes after the MACs).
+    VLAN_HEADER = "vlan"
+    #: Structural unit: a VXLAN outer stack (Eth+IPv4+UDP+VXLAN, 50 bytes).
+    VXLAN_HEADER = "vxlan"
     #: Wildcard used by profiles meaning "the entire packet" (e.g. an NF
     #: that checksums or compresses everything).
     WHOLE_PACKET = "*"
@@ -58,6 +67,20 @@ class Field(enum.Enum):
         if self is Field.WHOLE_PACKET or other is Field.WHOLE_PACKET:
             return True
         return self is other
+
+    @property
+    def is_encapsulating(self) -> bool:
+        """Whether adding/removing this unit re-homes every accessor.
+
+        AH sits between IP and L4 and the VLAN tag between the MACs and
+        the ethertype; the accessors parse through both, so the other
+        fields keep their referents.  A VXLAN outer stack instead puts a
+        whole new Eth/IPv4/UDP stack in front: after encap, ``sip``
+        *means* the outer source address.  No copy-and-merge discipline
+        can reconcile that with a parallel NF's view of the inner
+        packet, so Algorithm 1 refuses to parallelize across it.
+        """
+        return self is Field.VXLAN_HEADER
 
 
 def _l4(pkt: Packet):
@@ -125,6 +148,22 @@ def _write_payload(pkt: Packet, value) -> None:
     pkt.set_payload(value)
 
 
+def _read_smac(pkt: Packet):
+    return pkt.eth.src_mac
+
+
+def _write_smac(pkt: Packet, value) -> None:
+    pkt.eth.src_mac = value
+
+
+def _read_dmac(pkt: Packet):
+    return pkt.eth.dst_mac
+
+
+def _write_dmac(pkt: Packet, value) -> None:
+    pkt.eth.dst_mac = value
+
+
 #: Field -> (reader, writer) over a live packet.
 FIELD_ACCESSORS: Dict[Field, tuple] = {
     Field.SIP: (_read_sip, _write_sip),
@@ -134,6 +173,8 @@ FIELD_ACCESSORS: Dict[Field, tuple] = {
     Field.TTL: (_read_ttl, _write_ttl),
     Field.DSCP: (_read_dscp, _write_dscp),
     Field.PAYLOAD: (_read_payload, _write_payload),
+    Field.SMAC: (_read_smac, _write_smac),
+    Field.DMAC: (_read_dmac, _write_dmac),
 }
 
 

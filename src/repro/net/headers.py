@@ -14,6 +14,8 @@ from typing import Union
 __all__ = [
     "ETH_HEADER_LEN",
     "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "VLAN_TAG_LEN",
     "PROTO_TCP",
     "PROTO_UDP",
     "PROTO_AH",
@@ -30,6 +32,8 @@ __all__ = [
 
 ETH_HEADER_LEN = 14
 ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100  # 802.1Q tag (TPID)
+VLAN_TAG_LEN = 4  # TPID (2) + TCI (2), inserted after the MACs
 PROTO_TCP = 6
 PROTO_UDP = 17
 PROTO_AH = 51  # IPsec Authentication Header

@@ -20,17 +20,26 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from .fields import Field
 from .headers import (
     ETH_HEADER_LEN,
     ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
     PROTO_AH,
     PROTO_TCP,
     PROTO_UDP,
+    VLAN_TAG_LEN,
     AhView,
     EthernetView,
     Ipv4View,
     TcpView,
     UdpView,
+)
+from .recorder import (
+    RecordingEthernetView,
+    RecordingIpv4View,
+    RecordingTcpView,
+    RecordingUdpView,
 )
 
 __all__ = ["Packet", "PacketMeta", "build_packet", "HEADER_COPY_BYTES"]
@@ -122,6 +131,7 @@ class Packet:
         "ingress_us",
         "trace",
         "timeline",
+        "recorder",
     )
 
     def __init__(
@@ -145,6 +155,11 @@ class Packet:
         #: Optional (label, timestamp) checkpoints recorded by the DES
         #: when timeline instrumentation is enabled.
         self.timeline: Optional[list] = None
+        #: Opt-in :class:`~repro.net.recorder.AccessRecorder`.  ``None``
+        #: (the default) keeps the hot path untouched: every view
+        #: property pays exactly one ``is None`` check and returns the
+        #: plain view classes.
+        self.recorder = None
 
     def stamp(self, label: str, now_us: float) -> None:
         """Record a timeline checkpoint (no-op unless enabled)."""
@@ -153,14 +168,38 @@ class Packet:
 
     # ------------------------------------------------------------ views
     @property
+    def has_vlan(self) -> bool:
+        """Whether an 802.1Q tag sits between the MACs and the L3 header."""
+        buf = self.buf
+        return (
+            len(buf) >= ETH_HEADER_LEN + VLAN_TAG_LEN
+            and ((buf[12] << 8) | buf[13]) == ETHERTYPE_VLAN
+        )
+
+    @property
+    def l3_offset(self) -> int:
+        """Offset of the L3 header: 14, or 18 when 802.1Q-tagged."""
+        return ETH_HEADER_LEN + VLAN_TAG_LEN if self.has_vlan else ETH_HEADER_LEN
+
+    @property
     def eth(self) -> EthernetView:
-        return EthernetView(self.buf, 0)
+        rec = self.recorder
+        if rec is None:
+            return EthernetView(self.buf, 0)
+        return RecordingEthernetView(self.buf, 0)._bind(rec, self.uid)
 
     @property
     def ipv4(self) -> Ipv4View:
-        if self.eth.ethertype != ETHERTYPE_IPV4:
+        off = self.l3_offset
+        buf = self.buf
+        # The effective ethertype sits just before the L3 header: at 12
+        # when untagged, at 16 (the inner ethertype) when 802.1Q-tagged.
+        if len(buf) < off or ((buf[off - 2] << 8) | buf[off - 1]) != ETHERTYPE_IPV4:
             raise ValueError("packet is not IPv4")
-        return Ipv4View(self.buf, ETH_HEADER_LEN)
+        rec = self.recorder
+        if rec is None:
+            return Ipv4View(buf, off)
+        return RecordingIpv4View(buf, off)._bind(rec, self.uid)
 
     @property
     def has_ah(self) -> bool:
@@ -174,11 +213,11 @@ class Packet:
         ip = self.ipv4
         if ip.protocol != PROTO_AH:
             raise ValueError("packet has no Authentication Header")
-        return AhView(self.buf, ETH_HEADER_LEN + ip.header_len)
+        return AhView(self.buf, self.l3_offset + ip.header_len)
 
     def _l4_offset(self) -> int:
         ip = self.ipv4
-        offset = ETH_HEADER_LEN + ip.header_len
+        offset = self.l3_offset + ip.header_len
         if ip.protocol == PROTO_AH:
             offset += AhView.HEADER_LEN
         return offset
@@ -195,13 +234,19 @@ class Packet:
     def tcp(self) -> TcpView:
         if self.l4_protocol != PROTO_TCP:
             raise ValueError("packet is not TCP")
-        return TcpView(self.buf, self._l4_offset())
+        rec = self.recorder
+        if rec is None:
+            return TcpView(self.buf, self._l4_offset())
+        return RecordingTcpView(self.buf, self._l4_offset())._bind(rec, self.uid)
 
     @property
     def udp(self) -> UdpView:
         if self.l4_protocol != PROTO_UDP:
             raise ValueError("packet is not UDP")
-        return UdpView(self.buf, self._l4_offset())
+        rec = self.recorder
+        if rec is None:
+            return UdpView(self.buf, self._l4_offset())
+        return RecordingUdpView(self.buf, self._l4_offset())._bind(rec, self.uid)
 
     @property
     def payload_offset(self) -> int:
@@ -215,6 +260,9 @@ class Packet:
 
     @property
     def payload(self) -> bytes:
+        rec = self.recorder
+        if rec is not None:
+            rec.record("read", Field.PAYLOAD, self.uid)
         return bytes(self.buf[self.payload_offset :])
 
     def set_payload(self, data: bytes) -> None:
@@ -223,6 +271,9 @@ class Packet:
         NFs that change payload length must use add/remove header
         primitives instead, so that length bookkeeping stays consistent.
         """
+        rec = self.recorder
+        if rec is not None:
+            rec.record("write", Field.PAYLOAD, self.uid)
         start = self.payload_offset
         if len(data) != len(self.buf) - start:
             raise ValueError("set_payload must preserve length")
@@ -249,6 +300,10 @@ class Packet:
             wire_len=self.wire_len,
         )
         copy.ingress_us = self.ingress_us
+        rec = self.recorder
+        if rec is not None:
+            copy.recorder = rec
+            rec.record("copy-full", None, self.uid)
         return copy
 
     def header_copy(self, version: int, nbytes: int = HEADER_COPY_BYTES) -> "Packet":
@@ -274,11 +329,16 @@ class Packet:
             is_header_copy=True,
         )
         copy.ingress_us = self.ingress_us
-        if nbytes >= ETH_HEADER_LEN + Ipv4View.HEADER_LEN and (
-            self.eth.ethertype == ETHERTYPE_IPV4
+        l3 = self.l3_offset
+        if nbytes >= l3 + Ipv4View.HEADER_LEN and (
+            ((self.buf[l3 - 2] << 8) | self.buf[l3 - 1]) == ETHERTYPE_IPV4
         ):
-            ip = Ipv4View(copy.buf, ETH_HEADER_LEN)
-            ip.total_length = nbytes - ETH_HEADER_LEN
+            ip = Ipv4View(copy.buf, l3)
+            ip.total_length = nbytes - l3
+        rec = self.recorder
+        if rec is not None:
+            copy.recorder = rec
+            rec.record("copy-header", None, self.uid)
         return copy
 
     def make_nil(self) -> "Packet":

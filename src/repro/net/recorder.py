@@ -1,0 +1,175 @@
+"""Opt-in access recording for the instrumented field layer.
+
+The static inspector (:mod:`repro.core.inspector`) derives action
+profiles from NF *source*; this module derives them from NF *execution*,
+the approach of the "Automatic Parallelization of Software Network
+Functions" line of work.  A :class:`AccessRecorder` is attached to a
+:class:`~repro.net.packet.Packet`; while attached, the packet's header
+views are replaced with recording subclasses that log every
+profile-relevant read/write (plus the payload, drop, copy and
+add/remove-header paths hooked elsewhere) as :class:`AccessEvent`\\ s.
+
+Two properties keep this honest as an oracle:
+
+* **Zero overhead when disabled.**  ``Packet.recorder`` defaults to
+  ``None`` and every view property pays exactly one ``is None`` check;
+  the plain view classes are returned unchanged, so the un-instrumented
+  hot path is byte-for-byte the pre-instrumentation code path.
+* **Actor scoping.**  Events are recorded only while an NF has entered
+  the recorder's scope (:meth:`AccessRecorder.enter`, done by
+  ``NetworkFunction.handle``).  Infrastructure accesses -- the
+  classifier's five-tuple, RSS flow keys, merge-operation field copies,
+  output comparison -- fall outside any scope and are ignored, so the
+  inferred footprint is the NF's own.
+
+Verbs are plain strings here (``"read"``, ``"write"``, ``"add"``,
+``"remove"``, ``"drop"``, ``"copy-*"``) because :mod:`repro.net` sits
+below :mod:`repro.core`; :mod:`repro.profiles` maps them onto
+:class:`repro.core.actions.Verb`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .fields import Field
+from .headers import EthernetView, Ipv4View, TcpView, UdpView
+
+__all__ = ["AccessEvent", "AccessRecorder", "RECORD_VERBS"]
+
+RECORD_VERBS = (
+    "read", "write", "add", "remove", "drop", "copy-full", "copy-header",
+)
+
+
+class AccessEvent:
+    """One observed packet access, attributed to an NF actor."""
+
+    __slots__ = ("nf_name", "nf_kind", "verb", "field", "packet_uid")
+
+    def __init__(
+        self,
+        nf_name: str,
+        nf_kind: str,
+        verb: str,
+        field: Optional[Field],
+        packet_uid: int,
+    ):
+        self.nf_name = nf_name
+        self.nf_kind = nf_kind
+        self.verb = verb
+        self.field = field
+        self.packet_uid = packet_uid
+
+    def __repr__(self) -> str:
+        field = "" if self.field is None else f"({self.field})"
+        return (f"<{self.nf_kind}:{self.nf_name} {self.verb}{field} "
+                f"pkt#{self.packet_uid}>")
+
+
+class AccessRecorder:
+    """Collects :class:`AccessEvent`\\ s from instrumented packets.
+
+    One recorder is typically shared by every packet of a run; the
+    current actor is process-wide per recorder (NF execution is
+    single-threaded per plane, so a simple enter/exit pair suffices).
+    """
+
+    __slots__ = ("events", "_actor")
+
+    def __init__(self):
+        self.events: List[AccessEvent] = []
+        self._actor: Optional[Tuple[str, str]] = None
+
+    # ---------------------------------------------------------- actor scope
+    def enter(self, nf_name: str, nf_kind: str) -> None:
+        """Begin attributing accesses to ``nf_name`` (an NF's handle())."""
+        self._actor = (nf_name, nf_kind)
+
+    def exit(self) -> None:
+        self._actor = None
+
+    @property
+    def active(self) -> bool:
+        return self._actor is not None
+
+    # ------------------------------------------------------------- recording
+    def record(self, verb: str, field: Optional[Field], packet_uid: int) -> None:
+        """Log one access; silently ignored outside any NF scope."""
+        actor = self._actor
+        if actor is None:
+            return
+        self.events.append(AccessEvent(actor[0], actor[1], verb, field, packet_uid))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# --------------------------------------------------------------------------
+# Recording view subclasses.  Only the profile-relevant properties are
+# overridden; plumbing fields (checksums, lengths, protocol numbers,
+# flags) inherit the plain accessors -- mirroring the inspector's
+# _ATTR_FIELDS vocabulary so static and dynamic profiles line up.
+# --------------------------------------------------------------------------
+
+
+def _recording_property(base_prop, verb_field: Field):
+    getter = base_prop.fget
+    setter = base_prop.fset
+
+    def fget(self):
+        self._rec.record("read", verb_field, self._uid)
+        return getter(self)
+
+    if setter is None:
+        return property(fget)
+
+    def fset(self, value):
+        self._rec.record("write", verb_field, self._uid)
+        setter(self, value)
+
+    return property(fget, fset)
+
+
+class _RecordingMixin:
+    __slots__ = ()
+
+    def _bind(self, recorder: AccessRecorder, packet_uid: int):
+        self._rec = recorder
+        self._uid = packet_uid
+        return self
+
+
+class RecordingEthernetView(_RecordingMixin, EthernetView):
+    __slots__ = ("_rec", "_uid")
+
+    src_mac = _recording_property(EthernetView.src_mac, Field.SMAC)
+    dst_mac = _recording_property(EthernetView.dst_mac, Field.DMAC)
+
+
+class RecordingIpv4View(_RecordingMixin, Ipv4View):
+    __slots__ = ("_rec", "_uid")
+
+    src_ip = _recording_property(Ipv4View.src_ip, Field.SIP)
+    dst_ip = _recording_property(Ipv4View.dst_ip, Field.DIP)
+    src_ip_int = _recording_property(Ipv4View.src_ip_int, Field.SIP)
+    dst_ip_int = _recording_property(Ipv4View.dst_ip_int, Field.DIP)
+    ttl = _recording_property(Ipv4View.ttl, Field.TTL)
+    dscp = _recording_property(Ipv4View.dscp, Field.DSCP)
+
+
+class RecordingTcpView(_RecordingMixin, TcpView):
+    __slots__ = ("_rec", "_uid")
+
+    src_port = _recording_property(TcpView.src_port, Field.SPORT)
+    dst_port = _recording_property(TcpView.dst_port, Field.DPORT)
+
+
+class RecordingUdpView(_RecordingMixin, UdpView):
+    __slots__ = ("_rec", "_uid")
+
+    src_port = _recording_property(UdpView.src_port, Field.SPORT)
+    dst_port = _recording_property(UdpView.dst_port, Field.DPORT)

@@ -23,6 +23,9 @@ from .ids import Ids, Ips, Nids, Signature, build_signatures
 from .nat import Nat, NatBinding
 from .misc import Caching, Compression, Gateway, Proxy, TrafficShaper
 from .conntrack import ConnState, ConnTrackFirewall
+from .l2 import MacSwap, VlanPop, VlanPush
+from .vxlan import VxlanDecap, VxlanEncap
+from .dedup import DedupMarker
 
 __all__ = [
     "NetworkFunction",
@@ -57,4 +60,10 @@ __all__ = [
     "TrafficShaper",
     "ConnTrackFirewall",
     "ConnState",
+    "MacSwap",
+    "VlanPush",
+    "VlanPop",
+    "VxlanEncap",
+    "VxlanDecap",
+    "DedupMarker",
 ]

@@ -87,12 +87,20 @@ class NetworkFunction:
         ctx = ProcessingContext()
         self.rx_packets += 1
         had_error = False
+        rec = pkt.recorder
+        if rec is not None:
+            rec.enter(self.name, self.KIND)
         try:
             self.process(pkt, ctx)
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
             self.errors += 1
             had_error = True
             ctx.drop(f"nf-error: {exc}")
+        finally:
+            if rec is not None:
+                if ctx.dropped:
+                    rec.record("drop", None, pkt.uid)
+                rec.exit()
         if ctx.dropped:
             self.dropped_packets += 1
         else:

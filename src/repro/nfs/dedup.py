@@ -1,0 +1,51 @@
+"""Payload dedup marker (the detection half of Lemur's dedup/rededup).
+
+A real redundancy-elimination middlebox replaces repeated payloads with
+shims; to keep the dataplane's length-preserving model we implement the
+*marking* step: hash each payload, remember digests, and tag repeats in
+the DSCP field so a downstream stage could elide them.  Profile: Read
+Payload, Write DSCP.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Set
+
+from ..net.packet import Packet
+from .base import NetworkFunction, ProcessingContext, register_nf_class
+
+__all__ = ["DedupMarker"]
+
+
+@register_nf_class
+class DedupMarker(NetworkFunction):
+    """Mark packets whose payload was already seen.  R Payload, W DSCP."""
+
+    KIND = "dedup"
+
+    #: DSCP codepoint stamped on duplicate payloads.
+    MARK_DSCP = 9
+
+    def __init__(
+        self, name: Optional[str] = None, max_digests: int = 65536
+    ):
+        super().__init__(name)
+        if max_digests <= 0:
+            raise ValueError("max_digests must be positive")
+        self.max_digests = max_digests
+        self.duplicates = 0
+        self._seen: Set[bytes] = set()
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        payload = pkt.payload
+        if not payload:
+            return
+        digest = hashlib.blake2s(payload, digest_size=8).digest()
+        if digest in self._seen:
+            self.duplicates += 1
+            ip = pkt.ipv4
+            ip.dscp = self.MARK_DSCP
+            ip.update_checksum()
+        elif len(self._seen) < self.max_digests:
+            self._seen.add(digest)

@@ -1,0 +1,82 @@
+"""L2 NFs from Lemur's module set: MAC swap and 802.1Q VLAN push/pop.
+
+These widen the catalog with NFs whose footprints are disjoint from the
+L3/L4 crowd (MACs, the VLAN tag), so compiled graphs mixing them get
+more NO_COPY parallelism -- the point of the Lemur expansion named in
+ROADMAP.  Their declared profiles are *born audited*: the profile-audit
+oracle ran against them from the first commit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.encap import insert_vlan, remove_vlan
+from ..net.packet import Packet
+from .base import NetworkFunction, ProcessingContext, register_nf_class
+
+__all__ = ["MacSwap", "VlanPush", "VlanPop"]
+
+
+@register_nf_class
+class MacSwap(NetworkFunction):
+    """Swap source and destination MACs (the classic reflector step).
+
+    Profile: R/W on SMAC and DMAC.  Applying it twice restores the
+    original frame, which the tests use as an idempotence check.
+    """
+
+    KIND = "macswap"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.swapped = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        eth = pkt.eth
+        src = eth.src_mac
+        dst = eth.dst_mac
+        eth.src_mac = dst
+        eth.dst_mac = src
+        self.swapped += 1
+
+
+@register_nf_class
+class VlanPush(NetworkFunction):
+    """Push an 802.1Q tag (rewriting the TCI if one is already present).
+
+    Profile: Add VLAN_HEADER.
+    """
+
+    KIND = "vlan-push"
+
+    def __init__(self, name: Optional[str] = None, vlan_id: int = 100, pcp: int = 0):
+        super().__init__(name)
+        if not 0 <= vlan_id <= 0xFFF:
+            raise ValueError("VLAN ID is 12 bits")
+        self.vlan_id = vlan_id
+        self.pcp = pcp
+        self.pushed = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        insert_vlan(pkt, self.vlan_id, self.pcp)
+        self.pushed += 1
+
+
+@register_nf_class
+class VlanPop(NetworkFunction):
+    """Pop the 802.1Q tag; untagged frames pass through untouched.
+
+    Profile: Remove VLAN_HEADER.
+    """
+
+    KIND = "vlan-pop"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.popped = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        if pkt.has_vlan:
+            remove_vlan(pkt)
+            self.popped += 1

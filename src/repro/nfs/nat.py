@@ -69,8 +69,11 @@ class Nat(NetworkFunction):
         return binding
 
     def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        # Portless traffic (ICMP, fragments past the first) carries no
+        # L4 tuple to translate; it passes through untouched.  Dropping
+        # here would be an *undeclared* drop -- Table 2's NAT row has no
+        # Drop action, and the profile-audit oracle flags the mismatch.
         if pkt.l4_protocol not in (PROTO_TCP, PROTO_UDP):
-            ctx.drop("NAT supports TCP/UDP only")
             return
         ip = pkt.ipv4
         l4 = pkt.tcp if pkt.l4_protocol == PROTO_TCP else pkt.udp

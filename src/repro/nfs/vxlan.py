@@ -1,0 +1,71 @@
+"""VXLAN tunnel endpoints (Lemur's encap/decap modules).
+
+The encapsulator wraps every frame in a 50-byte outer
+Ethernet/IPv4/UDP/VXLAN stack toward a configured remote VTEP; the
+decapsulator strips the outer stack from frames addressed to UDP port
+4789.  Structurally these are Add/Remove of ``Field.VXLAN_HEADER``,
+exactly parallel to how the VPN pair adds/removes the AH.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.encap import VXLAN_PORT, is_vxlan, vxlan_decap, vxlan_encap
+from ..net.headers import PROTO_UDP
+from ..net.packet import Packet
+from .base import NetworkFunction, ProcessingContext, register_nf_class
+
+__all__ = ["VxlanEncap", "VxlanDecap"]
+
+
+@register_nf_class
+class VxlanEncap(NetworkFunction):
+    """Encapsulate toward a remote VTEP.  Profile: Add VXLAN_HEADER."""
+
+    KIND = "vxlan-encap"
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        vni: int = 1000,
+        local_ip: str = "203.0.113.1",
+        remote_ip: str = "203.0.113.2",
+    ):
+        super().__init__(name)
+        if not 0 <= vni < (1 << 24):
+            raise ValueError("VNI is 24 bits")
+        self.vni = vni
+        self.local_ip = local_ip
+        self.remote_ip = remote_ip
+        self.encapped = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        vxlan_encap(pkt, self.vni, self.local_ip, self.remote_ip)
+        self.encapped += 1
+
+
+@register_nf_class
+class VxlanDecap(NetworkFunction):
+    """Strip the VXLAN outer stack from port-4789 UDP frames.
+
+    Profile: Read DPORT (the tunnel classification), Remove
+    VXLAN_HEADER.  Non-tunnel traffic passes through untouched.
+    """
+
+    KIND = "vxlan-decap"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.decapped = 0
+
+    def process(self, pkt: Packet, ctx: ProcessingContext) -> None:
+        try:
+            proto = pkt.l4_protocol
+        except ValueError:
+            return  # not IPv4: pass through
+        if proto != PROTO_UDP or pkt.udp.dst_port != VXLAN_PORT:
+            return
+        if is_vxlan(pkt):
+            vxlan_decap(pkt)
+            self.decapped += 1

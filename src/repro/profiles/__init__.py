@@ -1,0 +1,41 @@
+"""Inferred NF action profiles (the trace-based analysis tool of §5.4).
+
+The paper lets operators register new NFs with a profile "generated ...
+manually or with the analysis tool provided by NFP".  The static half of
+that tool is :mod:`repro.core.inspector`; this package is the *dynamic*
+half, after the "Automatic Parallelization of Software Network
+Functions" approach: run NFs over real traffic with an
+:class:`~repro.net.recorder.AccessRecorder` attached, aggregate the
+observed events into an inferred :class:`InferredProfile` per NF kind
+(:mod:`repro.profiles.infer`), and diff inferred against declared
+profiles (:mod:`repro.profiles.audit`) -- an *undeclared* access is a
+latent parallelism bug (the compiler parallelizes based on the
+declaration), an *unused* declaration is a harmless over-approximation.
+
+:mod:`repro.profiles.harness` drives the audit over adversarial fuzz
+traffic; :mod:`repro.check` wires the auditor in as a fourth
+differential oracle.
+"""
+
+from .infer import InferredProfile, Observation, infer_profiles
+from .audit import (
+    HARD,
+    INFO,
+    Finding,
+    ProfileAuditor,
+    hard_findings,
+)
+from .harness import AuditReport, audit_catalog
+
+__all__ = [
+    "InferredProfile",
+    "Observation",
+    "infer_profiles",
+    "Finding",
+    "ProfileAuditor",
+    "hard_findings",
+    "HARD",
+    "INFO",
+    "AuditReport",
+    "audit_catalog",
+]

@@ -183,6 +183,14 @@ class SimParams:
         "nids": 0.700,
         "ips": 0.720,
         "vpn-decrypt": 0.650,
+        # L2/tunnel NFs: header-only work, between forwarder and LB;
+        # dedup hashes the payload, so it sits near caching.
+        "macswap": 0.036,
+        "vlan-push": 0.038,
+        "vlan-pop": 0.038,
+        "vxlan-encap": 0.095,
+        "vxlan-decap": 0.085,
+        "dedup": 0.090,
     })
 
     def nf_service(self, kind: str, extra_cycles: int = 0) -> float:

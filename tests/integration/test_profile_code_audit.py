@@ -4,8 +4,8 @@ The orchestrator trusts the Table 2 profiles; these tests use the §5.4
 inspector on the real NF implementations and check that every *effect*
 the table promises (writes, structural changes, drops) is present in
 the code -- so graph compilation decisions rest on code-accurate
-profiles.  Documented divergences (our NAT is SNAT-only; the forwarder
-also reads/drops on TTL) are asserted explicitly rather than ignored.
+profiles.  Documented divergences (our NAT is SNAT-only) are asserted
+explicitly rather than ignored.
 """
 
 import pytest
@@ -26,6 +26,16 @@ EXACT_EFFECT_KINDS = [
     "vpn",
     "vpn-decrypt",
     "conntrack-firewall",
+    # Joined after the trace-based profile audit widened its row with
+    # the TTL read/write and the no-route/TTL-expired drop.
+    "forwarder",
+    # Born-audited additions (Lemur-style L2/tunnel catalog).
+    "macswap",
+    "vlan-push",
+    "vlan-pop",
+    "vxlan-encap",
+    "vxlan-decap",
+    "dedup",
 ]
 
 
@@ -57,22 +67,25 @@ def test_firewall_drop_declared():
 def test_known_divergence_nat_is_snat():
     """Our NAT implements SNAT (writes sip/sport); the table keeps the
     paper's full-cone row (writes all four).  The table is the safer,
-    more conservative profile, so compilation stays sound."""
+    more conservative profile, so compilation stays sound.  It also no
+    longer drops anything: non-TCP/UDP traffic passes through, matching
+    the row's missing Drop (found by the profile-audit oracle)."""
     table_profile = default_action_table().fetch("nat")
     code_profile = inspect_nf(nf_class("nat"))
     assert code_profile.writes == {Field.SIP, Field.SPORT}
     assert code_profile.writes < table_profile.writes
+    assert not code_profile.may_drop
+    assert not table_profile.may_drop
 
 
-def test_known_divergence_forwarder_ttl():
-    """The forwarder reads/drops on TTL beyond its table row; both are
-    *stricter* behaviours than declared (reads + a drop), which can only
-    make the dependency analysis conservative, never unsound... for
-    reads; the undeclared drop is asserted here so any future profile
-    change revisits it."""
-    code_profile = inspect_nf(nf_class("forwarder"))
-    assert Field.TTL in code_profile.writes
-    assert code_profile.may_drop  # no-route / TTL-expired drops
+def test_forwarder_row_covers_ttl_and_drop():
+    """The trace-based audit found the forwarder's TTL decrement path
+    (read+write) and its no-route/TTL-expired drop; the row now declares
+    all three, so the inspector and the table agree."""
+    table_profile = default_action_table().fetch("forwarder")
+    assert Field.TTL in table_profile.reads
+    assert Field.TTL in table_profile.writes
+    assert table_profile.may_drop
 
 
 @pytest.mark.parametrize("kind", EXACT_EFFECT_KINDS + ["firewall"])

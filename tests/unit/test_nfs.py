@@ -292,13 +292,18 @@ def test_nat_distinct_flows_distinct_ports():
     assert binding.internal_ip == "10.0.0.2"
 
 
-def test_nat_handles_udp_and_rejects_others():
+def test_nat_handles_udp_and_passes_others_through():
+    # Non-TCP/UDP traffic passes through untranslated: NAT's declared
+    # profile has no Drop, and the profile-audit oracle holds the code
+    # to the declaration (an undeclared drop is a hard finding).
     nat = Nat()
     udp = build_packet(protocol=PROTO_UDP, size=64)
     assert not nat.handle(udp).dropped
     icmp_like = build_packet(size=64)
     icmp_like.ipv4.protocol = 1
-    assert nat.handle(icmp_like).dropped
+    before = bytes(icmp_like.buf)
+    assert not nat.handle(icmp_like).dropped
+    assert bytes(icmp_like.buf) == before
 
 
 def test_nat_pool_exhaustion_is_contained():

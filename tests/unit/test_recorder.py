@@ -1,0 +1,180 @@
+"""Unit tests for the instrumented field layer (repro.net.recorder).
+
+Covers the tentpole guarantees: actor scoping (infra accesses are
+invisible), nested view access attribution, copy attribution to the
+copying NF, and the zero-overhead-when-disabled contract (plain view
+types + a micro-benchmark guard on the hot path).
+"""
+
+import timeit
+
+from repro.net import (
+    AccessRecorder,
+    Field,
+    build_packet,
+    insert_vlan,
+    remove_vlan,
+)
+from repro.net.headers import (
+    PROTO_UDP,
+    EthernetView,
+    Ipv4View,
+    TcpView,
+    UdpView,
+)
+from repro.net.recorder import (
+    RecordingEthernetView,
+    RecordingIpv4View,
+    RecordingTcpView,
+    RecordingUdpView,
+)
+
+
+def _armed_packet(recorder, **kwargs):
+    pkt = build_packet(**kwargs)
+    pkt.recorder = recorder
+    return pkt
+
+
+def _pairs(recorder):
+    return [(e.verb, e.field) for e in recorder.events]
+
+
+# ------------------------------------------------------------- actor scope
+def test_accesses_outside_any_scope_are_ignored():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder)
+    pkt.ipv4.ttl  # noqa: B018 - deliberate read
+    pkt.tcp.src_port = 1234
+    _ = pkt.payload
+    assert len(recorder) == 0
+    assert not recorder.active
+
+
+def test_scoped_accesses_are_attributed_to_the_actor():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder)
+    recorder.enter("fw.0", "firewall")
+    assert recorder.active
+    _ = pkt.ipv4.src_ip
+    pkt.ipv4.ttl = 63
+    recorder.exit()
+    _ = pkt.ipv4.dst_ip  # out of scope again
+    assert _pairs(recorder) == [
+        ("read", Field.SIP),
+        ("write", Field.TTL),
+    ]
+    event = recorder.events[0]
+    assert event.nf_name == "fw.0"
+    assert event.nf_kind == "firewall"
+    assert event.packet_uid == pkt.uid
+
+
+def test_nested_view_access_records_each_leaf_field():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder, protocol=PROTO_UDP)
+    recorder.enter("mon", "monitor")
+    view = pkt.udp
+    _ = view.src_port
+    _ = view.dst_port
+    _ = pkt.eth.src_mac
+    _ = pkt.payload
+    recorder.exit()
+    assert _pairs(recorder) == [
+        ("read", Field.SPORT),
+        ("read", Field.DPORT),
+        ("read", Field.SMAC),
+        ("read", Field.PAYLOAD),
+    ]
+
+
+def test_structural_vlan_ops_record_add_and_remove():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder)
+    recorder.enter("push", "vlan-push")
+    insert_vlan(pkt, 42)
+    remove_vlan(pkt)
+    recorder.exit()
+    assert _pairs(recorder) == [
+        ("add", Field.VLAN_HEADER),
+        ("remove", Field.VLAN_HEADER),
+    ]
+
+
+# --------------------------------------------------------- copy attribution
+def test_full_copy_is_attributed_and_stays_instrumented():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder)
+    recorder.enter("copier", "proxy")
+    copy = pkt.full_copy(version=2)
+    _ = copy.ipv4.dst_ip  # accesses on the copy keep recording
+    recorder.exit()
+    assert copy.recorder is recorder
+    assert _pairs(recorder) == [
+        ("copy-full", None),
+        ("read", Field.DIP),
+    ]
+    assert recorder.events[0].packet_uid == pkt.uid
+
+
+def test_header_copy_is_attributed_to_the_copying_nf():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder, size=256)
+    recorder.enter("copier", "vpn")
+    copy = pkt.header_copy(version=3)
+    recorder.exit()
+    assert copy.recorder is recorder
+    assert _pairs(recorder) == [("copy-header", None)]
+    assert recorder.events[0].nf_name == "copier"
+
+
+# ------------------------------------------------- zero-overhead contract
+def test_disabled_packet_returns_plain_view_types():
+    pkt = build_packet()
+    assert pkt.recorder is None
+    assert type(pkt.eth) is EthernetView
+    assert type(pkt.ipv4) is Ipv4View
+    assert type(pkt.tcp) is TcpView
+    udp = build_packet(protocol=PROTO_UDP)
+    assert type(udp.udp) is UdpView
+
+
+def test_enabled_packet_returns_recording_view_types():
+    recorder = AccessRecorder()
+    pkt = _armed_packet(recorder)
+    assert type(pkt.eth) is RecordingEthernetView
+    assert type(pkt.ipv4) is RecordingIpv4View
+    assert type(pkt.tcp) is RecordingTcpView
+    udp = _armed_packet(recorder, protocol=PROTO_UDP)
+    assert type(udp.udp) is RecordingUdpView
+
+
+def test_disabled_hot_path_pays_only_the_is_none_check():
+    """Micro-benchmark guard for the zero-overhead contract.
+
+    The un-instrumented path must cost no more than a generous multiple
+    of a hand-rolled view construction + field read -- the only extra
+    work allowed is the single ``recorder is None`` branch.  Best-of-N
+    timings keep this stable on noisy CI machines.
+    """
+    pkt = build_packet()
+    buf = pkt.buf
+
+    def via_packet():
+        return pkt.ipv4.ttl
+
+    def hand_rolled():
+        return Ipv4View(buf, 14).ttl
+
+    assert via_packet() == hand_rolled()
+    number = 20_000
+    instrumented = min(timeit.repeat(via_packet, repeat=7, number=number))
+    baseline = min(timeit.repeat(hand_rolled, repeat=7, number=number))
+    # The property does strictly more than the hand-rolled lambda (the
+    # l3_offset/ethertype guard predates this PR); 5x headroom fails on
+    # anything resembling per-access instrumentation (recording
+    # subclass construction is ~an order of magnitude slower).
+    assert instrumented < baseline * 5, (
+        f"disabled-path read took {instrumented:.4f}s vs hand-rolled "
+        f"{baseline:.4f}s for {number} iterations"
+    )
