@@ -12,6 +12,13 @@ The same serializer backs ``python -m repro measure --json``
 Schema evolution: bump :data:`SCHEMA` when a field changes meaning or
 disappears; adding optional fields is backward compatible.  The
 comparator refuses to diff reports with different schema identifiers.
+
+v2 (this schema): fault scenarios with a windowed sampler armed carry
+peak-window stats (``peak_window_tx``, ``peak_ring_occupancy``,
+``peak_at_depth``, ``windows``) and watch-rule alert counts
+(``alerts_fired`` / ``alerts_cleared``) in their metrics.  All of them
+are listed volatile: the comparator reports them but never gates on
+them, since window timing under faults follows the fault timing.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ __all__ = [
 ]
 
 #: Current schema identifier, stored in every report.
-SCHEMA = "repro.bench/1"
+SCHEMA = "repro.bench/2"
 
 #: Metric keys the comparator gates on, with the direction that counts
 #: as a regression ("up" = an increase is bad, "down" = a decrease is).

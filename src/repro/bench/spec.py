@@ -19,6 +19,10 @@ truth for what ``python -m repro bench`` runs:
   north-south chain at 2 instances/NF without and with the classifier
   flow cache (same seed, so the classify-stage attribution delta is the
   cache's doing);
+* ``fig13_ns_faults`` / ``fig13_we_faults`` -- fault-injected runs with
+  the windowed telemetry sampler and watch rules armed: a crash/failover
+  episode on the north-south chain, and the AT-timeout episode (hung
+  monitor stranding AT entries) on the copy-bearing west-east chain;
 * ``fuzz_corpus_replay`` -- the committed differential-fuzz corpus
   replayed through all three planes, as a throughput workload.
 
@@ -40,7 +44,15 @@ from ..eval.experiments import NORTH_SOUTH_CHAIN, WEST_EAST_CHAIN
 from ..eval.forced import forced_parallel, forced_sequential
 from ..eval.harness import measure_nfp
 from ..sim.stats import summarize
-from ..telemetry import SpanKind, StageRollup, TelemetryHub, Tracer, stage_rollup
+from ..telemetry import (
+    Sampler,
+    SpanKind,
+    StageRollup,
+    TelemetryHub,
+    Tracer,
+    Watcher,
+    stage_rollup,
+)
 from ..traffic.generator import DATACENTER_MIX, PacketSizeDistribution
 from .schema import measurement_to_dict
 
@@ -105,6 +117,8 @@ def _measured(
     instances=None,
     flow_cache: bool = False,
     faults: Optional[str] = None,
+    watch: Optional[List[str]] = None,
+    window_us: float = 1000.0,
 ) -> Callable[[int, int], SpecOutcome]:
     """Build a runner around :func:`measure_nfp` with span collection.
 
@@ -112,6 +126,12 @@ def _measured(
     delivery-dependent metric becomes volatile (fault timing vs load
     makes them workload-specific), and the fault/failover counters ride
     along as extras instead.
+
+    ``watch`` arms a windowed :class:`~repro.telemetry.timeseries.Sampler`
+    (one window per ``window_us`` of simulated time) with the given
+    watch rules; peak-window stats and alert fire/clear counts then ride
+    along as volatile extras (schema v2).  The sampler observes the same
+    hub the scenario already fills, so an unarmed run costs nothing.
     """
 
     def run(packets: int, seed: int) -> SpecOutcome:
@@ -129,6 +149,11 @@ def _measured(
             kwargs["flow_cache"] = True
         if faults:
             kwargs["faults"] = faults
+        sampler = watcher = None
+        if watch is not None:
+            sampler = Sampler(hub, window_us=window_us)
+            watcher = Watcher(list(watch), hub=hub).attach(sampler)
+            kwargs["sampler"] = sampler
         result = measure_nfp(target_factory(), **kwargs)
         params = {"packets": packets, "seed": seed,
                   "extra_cycles": extra_cycles}
@@ -150,6 +175,25 @@ def _measured(
             })
             volatile = ["latency_mean_us", "latency_p50_us", "latency_p99_us",
                         "delivered", "lost", "nil_dropped"]
+        if sampler is not None:
+            params["window_us"] = window_us
+            params["watch"] = list(watch)
+            series = sampler.series
+            telemetry_extras = {
+                "windows": len(series.windows),
+                "alerts_fired": watcher.fired,
+                "alerts_cleared": watcher.cleared,
+            }
+            for key, metric in (("peak_window_tx", "tx.packets"),
+                                ("peak_ring_occupancy", "ring.occupancy"),
+                                ("peak_at_depth", "at.depth")):
+                peak = series.peak(metric)
+                if peak is not None:
+                    telemetry_extras[key] = round(float(peak[0]), 6)
+            extras.update(telemetry_extras)
+            # Window timing under faults follows the fault timing, so
+            # everything the sampler saw is reported, never gated.
+            volatile = volatile + sorted(telemetry_extras)
         return SpecOutcome(
             measurement=measurement_to_dict(result),
             rollup=stage_rollup(tracer.events),
@@ -440,13 +484,36 @@ def _build_registry() -> Dict[str, BenchmarkSpec]:
     specs.append(BenchmarkSpec(
         name="fig13_ns_faults",
         description="north-south chain, 2 instances/NF, one NF instance "
-                    "crashed mid-run: failover + AT-timeout recovery cost "
-                    "(reported, delivery metrics volatile)",
+                    "crashed mid-run: failover recovery cost, windowed "
+                    "sampler armed (reported, delivery metrics volatile). "
+                    "No AT-timeout episode is possible here: the chain "
+                    "compiles to a single-version barrier graph, so a "
+                    "wedged NF stalls the stage barrier before any AT "
+                    "entry opens",
         quick=True,
         runner=_measured(_compiled_chain(NORTH_SOUTH_CHAIN),
                          sizes=DATACENTER_MIX, instances=2, flow_cache=True,
                          faults="crash:firewall:pkt=200",
+                         watch=["ring.occupancy > 0.8 for 3 windows",
+                                "merger.at_timeout > 0"],
+                         window_us=50.0,
                          label="north-south x2 crash"),
+    ))
+    specs.append(BenchmarkSpec(
+        name="fig13_we_faults",
+        description="west-east chain (3-way parallel, copy-bearing), "
+                    "monitor hung mid-run: the batch it holds strands AT "
+                    "entries at a 2/3 rendezvous until the AT timeout "
+                    "emits partial merges -- the windowed sampler sees the "
+                    "episode as a firing-then-cleared merger.at_timeout "
+                    "alert (reported, delivery metrics volatile)",
+        quick=True,
+        runner=_measured(_compiled_chain(WEST_EAST_CHAIN),
+                         sizes=DATACENTER_MIX,
+                         faults="hang:monitor:pkt=200",
+                         watch=["merger.at_timeout > 0",
+                                "ring.occupancy > 0.8 for 3 windows"],
+                         label="west-east monitor hang"),
     ))
     specs.append(BenchmarkSpec(
         name="placement_fig13",

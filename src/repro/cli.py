@@ -11,6 +11,13 @@ measure
     and print latency, throughput, and overhead.  ``--telemetry``
     additionally collects and prints per-NF metrics for the NFP runs;
     ``--json`` dumps the results as JSON instead of the ASCII table.
+monitor
+    Run a chain with the windowed time-series sampler armed: live
+    firing/cleared alert lines from declarative watch rules
+    (``--watch 'ring.occupancy > 0.8 for 3 windows'``, ``--slo-us``),
+    then an ASCII sparkline dashboard, the per-packet critical-path
+    attribution table, and optionally a Prometheus text exposition
+    (``--prom``).  ``--faults`` injects failures to watch the episode.
 bench
     Run the registered benchmark scenarios (``--quick``/``--full``)
     into a schema-versioned ``BENCH_<n>.json`` report, or compare two
@@ -106,20 +113,35 @@ def cmd_measure(args) -> int:
     chain = _chain_from(args)
     rows = []
     results = []
-    hub = TelemetryHub() if args.telemetry else None
+    hub = (TelemetryHub()
+           if (args.telemetry or args.timeseries) else None)
+    sampler = None
+    if args.timeseries:
+        from .telemetry import Sampler
+
+        # Windows delta from zero, so only the first NFP-family run can
+        # be sampled against a shared hub.
+        sampler = Sampler(hub)
     scale_out = args.instances if args.instances > 1 else None
+    armed_sampler = None
     systems = args.systems.split(",")
     for system in systems:
         system = system.strip().lower()
+        run_sampler = sampler if system in ("nfp", "nfp-seq") else None
+        if run_sampler is not None:
+            armed_sampler = run_sampler
+            sampler = None
         if system == "nfp":
             graph = Orchestrator().compile(Policy.from_chain(chain)).graph
             result = measure_nfp(graph, packets=args.packets, telemetry=hub,
                                  instances=scale_out,
-                                 flow_cache=args.flow_cache)
+                                 flow_cache=args.flow_cache,
+                                 sampler=run_sampler)
         elif system == "nfp-seq":
             result = measure_nfp(forced_sequential(chain), packets=args.packets,
                                  telemetry=hub, instances=scale_out,
-                                 flow_cache=args.flow_cache)
+                                 flow_cache=args.flow_cache,
+                                 sampler=run_sampler)
         elif system == "onvm":
             result = measure_onvm(chain, packets=args.packets)
         elif system == "bess":
@@ -138,6 +160,17 @@ def cmd_measure(args) -> int:
                     "results": [measurement_to_dict(r) for r in results]}
         if hub is not None:
             document["telemetry"] = hub.registry.snapshot()
+        if armed_sampler is not None:
+            series = armed_sampler.series
+            document["timeseries"] = {
+                "window_us": armed_sampler.window_us,
+                "windows": series.total_windows,
+                "peaks": {
+                    name: {"value": peak[0], "window": peak[1]}
+                    for name in series.metric_names()
+                    if (peak := series.peak(name)) is not None
+                },
+            }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     print(render_table(
@@ -150,6 +183,21 @@ def cmd_measure(args) -> int:
               f"header={hub.registry.counter_value('copy.header')}  "
               f"ring hops: {hub.registry.counter_value('ring.hops')}  "
               f"merged: {hub.registry.counter_value('merger.merged')}")
+    if armed_sampler is not None:
+        from .telemetry import sparkline
+
+        series = armed_sampler.series
+        print(f"\ntime series (first NFP run, "
+              f"{series.total_windows} x {armed_sampler.window_us:g} us):")
+        for label, values in (
+            ("tx pkts/window", series.counter_values("tx.packets")),
+            ("p99 latency us", [v for _, v in
+                                series.percentile_series("latency_us", 99)]),
+            ("ring occupancy", series.values("ring.occupancy")),
+        ):
+            if values and any(values):
+                print(f"  {label:<16s} {sparkline(values):<60s} "
+                      f"peak {max(values):.4g}")
     return 0
 
 
@@ -186,6 +234,121 @@ def cmd_trace(args) -> int:
           f"p99: {result.latency_p99_us:.1f} us  "
           f"tput: {result.throughput_mpps:.2f} Mpps\n")
     print(nf_summary_table(hub.registry))
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Run a chain with windowed telemetry, watch rules and live alerts."""
+    import json
+
+    from .telemetry import (
+        Sampler,
+        TelemetryHub,
+        Tracer,
+        Watcher,
+        critpath_report,
+        sparkline,
+        write_prometheus,
+    )
+
+    policy = _load_policy(args)
+    graph = Orchestrator().compile(policy).graph
+    tracer = Tracer()
+    hub = TelemetryHub(tracer=tracer)
+    sampler = Sampler(hub, window_us=args.window_us)
+
+    rules = list(args.watch or [])
+    if not rules:
+        rules = ["ring.occupancy > 0.8 for 3 windows",
+                 "merger.at_timeout > 0"]
+    if args.slo_us is not None and not any("slo" in r for r in rules):
+        rules.append("p99_us > slo")
+    watcher = Watcher(rules, slo_us=args.slo_us, hub=hub).attach(sampler)
+    if not args.json:
+        watcher.on_alert(lambda event: print(event.describe()))
+
+    scale_out = args.instances if args.instances > 1 else None
+    result = measure_nfp(graph, packets=args.packets, telemetry=hub,
+                         instances=scale_out, flow_cache=args.flow_cache,
+                         faults=args.faults, sampler=sampler)
+
+    series = sampler.series
+    report = critpath_report(tracer.traces().values())
+
+    if args.prom:
+        write_prometheus(hub.registry, args.prom)
+
+    if args.json:
+        document = {
+            "graph": graph.describe(),
+            "packets": args.packets,
+            "windows": series.total_windows,
+            "window_us": sampler.window_us,
+            "latency_p99_us": result.latency_p99_us,
+            "throughput_mpps": result.throughput_mpps,
+            "alerts": {
+                "fired": watcher.fired,
+                "cleared": watcher.cleared,
+                "still_firing": [r.text for r in watcher.still_firing()],
+                "events": [
+                    {"rule": e.rule, "state": e.state, "ts_us": e.ts_us,
+                     "window": e.window_index, "value": e.value,
+                     "threshold": e.threshold}
+                    for e in watcher.events
+                ],
+            },
+            "peaks": {
+                name: {"value": peak[0], "window": peak[1]}
+                for name in series.metric_names()
+                if (peak := series.peak(name)) is not None
+            },
+            "critical_path": report.to_dict(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    drops = [
+        float(sum(v for k, v in w.counters.items() if k.startswith("drops.")))
+        for w in series.windows
+    ]
+
+    def row(label: str, values) -> None:
+        values = list(values)
+        if not values or not any(values):
+            return
+        print(f"{label:<24s} {sparkline(values):<60s} peak {max(values):.4g}")
+
+    print(f"\ngraph   : {graph.describe()}")
+    print(f"windows : {series.total_windows} x {sampler.window_us:g} us  "
+          f"(p99 {result.latency_p99_us:.1f} us, "
+          f"{result.throughput_mpps:.2f} Mpps)")
+    row("tx pkts/window", series.counter_values("tx.packets"))
+    row("p99 latency us", (v for _, v in
+                           series.percentile_series("latency_us", 99)))
+    row("ring occupancy (max)", series.values("ring.occupancy"))
+    row("AT depth", series.values("at.depth"))
+    row("drops/window", drops)
+    pinned = hub.registry.counter_value("rss.pinned_flows")
+    if pinned:
+        print(f"rss.pinned_flows: {pinned} (keyless traffic on instance 0)")
+
+    print(f"\nalerts  : {watcher.fired} fired, {watcher.cleared} cleared"
+          + (f", still firing: {[r.text for r in watcher.still_firing()]}"
+             if watcher.still_firing() else ""))
+    for rule in watcher.rules:
+        print(f"  watch {rule.text!r}: fired={rule.fired} "
+              f"cleared={rule.cleared}")
+
+    if report.count:
+        print("\ncritical path (per-packet, mean vs p99 cohort):")
+        print(report.table())
+        dominant = report.dominant_tail_segment()
+        if dominant:
+            delta = report.tail_delta()[dominant]
+            print(f"p99 attribution: '{dominant}' dominates the tail "
+                  f"(+{delta:.2f} us vs mean)")
+    if args.prom:
+        print(f"\nprometheus exposition: {args.prom}")
     return 0
 
 
@@ -567,7 +730,42 @@ def build_parser() -> argparse.ArgumentParser:
                                 "cache (NFP runs only)")
     p_measure.add_argument("--json", action="store_true",
                            help="dump results as JSON instead of a table")
+    p_measure.add_argument("--timeseries", action="store_true",
+                           help="arm a windowed sampler on the first NFP run "
+                                "and print per-window sparklines (implies "
+                                "telemetry collection)")
     p_measure.set_defaults(func=cmd_measure)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="run a chain with live windowed telemetry, watch "
+                        "rules and alerts")
+    p_monitor.add_argument("--policy", help="policy DSL file")
+    p_monitor.add_argument("--chain", help="comma-separated NF kinds")
+    p_monitor.add_argument("--packets", type=int, default=2000)
+    p_monitor.add_argument("--window-us", type=float, default=100.0,
+                           help="sampling window in sim microseconds "
+                                "(default 100)")
+    p_monitor.add_argument("--watch", action="append", metavar="RULE",
+                           help="watch rule, e.g. 'ring.occupancy > 0.8 for "
+                                "3 windows' or 'p99_us > slo'; repeatable "
+                                "(default: ring occupancy + AT timeouts)")
+    p_monitor.add_argument("--slo-us", type=float, default=None,
+                           help="latency SLO resolving the 'slo' threshold "
+                                "(adds a p99_us > slo rule)")
+    p_monitor.add_argument("--instances", type=int, default=1,
+                           help="replicate every NF this many times")
+    p_monitor.add_argument("--flow-cache", action="store_true",
+                           help="enable the classifier flow cache")
+    p_monitor.add_argument("--faults", metavar="SPEC",
+                           help="fault plan to inject, e.g. "
+                                "'ring:ids:cap=2:pkt=100'")
+    p_monitor.add_argument("--prom", metavar="FILE",
+                           help="write a Prometheus text exposition of the "
+                                "final registry")
+    p_monitor.add_argument("--json", action="store_true",
+                           help="print a structured JSON summary instead of "
+                                "the dashboard (suppresses live alerts)")
+    p_monitor.set_defaults(func=cmd_monitor)
 
     p_bench = sub.add_parser(
         "bench", help="run benchmark scenarios / compare BENCH reports")

@@ -88,6 +88,7 @@ def assign_instances(
     key: Optional[tuple],
     counts: Mapping[str, int],
     healthy: Optional[Mapping[str, Sequence[int]]] = None,
+    telemetry=None,
 ) -> Dict[str, int]:
     """Per-NF instance assignment for one flow.
 
@@ -100,10 +101,18 @@ def assign_instances(
     the fully healthy ones -- keep the exact historical ``hash % count``
     mapping, so a casualty in one group never reshuffles another
     group's flows.
+
+    ``telemetry`` (a :class:`~repro.telemetry.hooks.TelemetryHub`)
+    makes the known RSS skew ceiling observable: keyless packets (ICMP,
+    fragments, non-IP) pin to instance 0 of every scaled NF, and each
+    such assignment bumps ``rss.pinned_flows`` so scaled runs report how
+    much traffic bypassed the hash instead of skewing silently.
     """
     scaled = {name: c for name, c in counts.items() if c > 1}
     if not scaled:
         return _NO_ASSIGNMENT
+    if key is None and telemetry is not None and telemetry.enabled:
+        telemetry.inc("rss.pinned_flows")
     assignment: Dict[str, int] = {}
     for name, count in scaled.items():
         live = healthy.get(name) if healthy else None

@@ -23,6 +23,7 @@ ground truth: N independent sequential chains fed by the same split.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.graph import ORIGINAL_VERSION, ServiceGraph
@@ -95,8 +96,17 @@ class FunctionalDataplane:
         nf_instances: Optional[Dict[str, NetworkFunction]] = None,
         scale: Union[int, Mapping[str, int], None] = None,
         injector: Optional[FaultInjector] = None,
+        telemetry=None,
     ):
         self.graph = graph
+        #: Optional :class:`~repro.telemetry.hooks.TelemetryHub`; the
+        #: untimed plane only counts control-plane facts (RSS pinning),
+        #: never per-packet service time -- it has no clock.
+        self.telemetry = telemetry
+        #: Optional :class:`~repro.telemetry.timeseries.Sampler`; the
+        #: functional plane has no virtual clock to schedule it on, so
+        #: :meth:`process` drives its wall-clock ``maybe_tick`` fallback.
+        self.sampler = None
         self.scale = _normalize_scale(graph, scale)
         self._scaled = {n: c for n, c in self.scale.items() if c > 1}
         self.nfs = nf_instances or instantiate_nfs(graph, scale=self.scale)
@@ -163,10 +173,13 @@ class FunctionalDataplane:
     def process(self, pkt: Packet) -> Optional[Packet]:
         """Run one packet through the graph; ``None`` means dropped."""
         self.processed += 1
+        if self.sampler is not None:
+            self.sampler.maybe_tick(time.monotonic() * 1e6)
         assignment = (
             assign_instances(
                 flow_key(pkt), self._scaled,
-                healthy=self.health.view() if self.injector else None)
+                healthy=self.health.view() if self.injector else None,
+                telemetry=self.telemetry)
             if self._scaled else {}
         )
         versions: Dict[int, Packet] = {ORIGINAL_VERSION: pkt}

@@ -355,6 +355,15 @@ class _MergerSim:
             if merged is not None:
                 hub.inc("merger.at_timeout_emit")
                 merged.stamp("merged-degraded", server.env.now)
+                # The degraded merge is still a merge: record it so
+                # rollups and critical-path attribution see the (huge)
+                # rendezvous wait the timeout exposed.
+                hub.span(SpanKind.MERGE_APPLY, server.env.now, merged.meta,
+                         name=f"merger{self.index}",
+                         duration_us=server.params.merge_latency_us,
+                         args={"wait_us":
+                               server.env.now - entry["opened_us"],
+                               "degraded": True})
                 self.merged += 1
                 server.emit(merged, extra_delay=server.params.merge_latency_us)
                 return
@@ -624,7 +633,8 @@ class NFPServer:
         instances; fully healthy groups keep the historical mapping.
         """
         return assign_instances(key, self._scaled_counts,
-                                healthy=self.health.view())
+                                healthy=self.health.view(),
+                                telemetry=self.telemetry)
 
     def _classify_one(self, pkt: Packet, decision: FlowDecision) -> float:
         """Tag metadata, run CT actions; returns extra core time spent."""
@@ -1101,3 +1111,74 @@ class NFPServer:
                       float(self.flow_cache.capacity))
             hub.gauge("classifier.flow_cache.invalidations",
                       float(self.flow_cache.invalidations))
+
+    # ------------------------------------------------- streaming telemetry
+    def probes(self) -> Dict[str, Callable[[], float]]:
+        """Live gauge probes for a windowed sampler.
+
+        Everything :meth:`collect_telemetry` can only report at
+        end-of-run is exposed here as callables a
+        :class:`~repro.telemetry.timeseries.Sampler` reads *during* the
+        run: instantaneous ring depth and occupancy, accumulating-table
+        depth, in-flight packets, and per-core utilisation *within the
+        current window* (a stateful delta over ``Core.busy_time``, not
+        the run-cumulative ratio).
+        """
+        probes: Dict[str, Callable[[], float]] = {}
+        rings = [self.ingress] + [m.rx for m in self.mergers]
+        cores = [self.classifier_core] + [m.core for m in self.mergers]
+        for group in self.runtimes.values():
+            for runtime in group.instances:
+                rings.append(runtime.rx)
+                cores.append(runtime.core)
+        for ring in rings:
+            probes[f"ring.{ring.name}.depth"] = (
+                lambda r=ring: float(len(r))
+            )
+            probes[f"ring.{ring.name}.occupancy"] = (
+                lambda r=ring: len(r) / r.capacity
+            )
+        for core in cores:
+            probes[f"core.{core.name}.window_util"] = (
+                self._window_utilisation_probe(core)
+            )
+        for merger in self.mergers:
+            probes[f"merger{merger.index}.at_depth"] = (
+                lambda m=merger: float(len(m.at))
+            )
+        # Aggregates, so watch rules need no per-component names:
+        # worst ring occupancy and total AT depth across the server.
+        probes["ring.occupancy"] = (
+            lambda rs=tuple(rings): max(len(r) / r.capacity for r in rs)
+        )
+        probes["at.depth"] = (
+            lambda ms=tuple(self.mergers): float(sum(len(m.at) for m in ms))
+        )
+        probes["flight.depth"] = lambda: float(len(self._flight))
+        return probes
+
+    def _window_utilisation_probe(self, core: Core) -> Callable[[], float]:
+        """Busy fraction of the interval since the probe last fired."""
+        state = {"busy": core.busy_time, "now": self.env.now}
+
+        def probe() -> float:
+            now = self.env.now
+            elapsed = now - state["now"]
+            busy = core.busy_time - state["busy"]
+            state["busy"] = core.busy_time
+            state["now"] = now
+            if elapsed <= 0.0:
+                return 0.0
+            return min(1.0, busy / elapsed)
+
+        return probe
+
+    def arm_sampler(self, sampler) -> None:
+        """Attach a :class:`~repro.telemetry.timeseries.Sampler`.
+
+        Registers every live probe and schedules the sampler as a
+        periodic DES event.  Call after :meth:`deploy` (the probes
+        enumerate the deployed rings/cores) and before the run starts.
+        """
+        sampler.add_probes(self.probes())
+        sampler.arm(self.env)

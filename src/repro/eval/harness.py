@@ -123,6 +123,7 @@ def measure_nfp(
     flow_cache: bool = False,
     flow_cache_size: int = 4096,
     faults: Union[str, Sequence[str], None] = None,
+    sampler=None,
 ) -> MeasurementResult:
     """Measure an NFP service graph end to end.
 
@@ -143,6 +144,13 @@ def measure_nfp(
     timeouts and degradation included.  Delivered counts under faults
     depend on fault timing vs the offered load, so treat them as
     workload-specific, not calibration anchors.
+
+    ``sampler`` (a :class:`repro.telemetry.timeseries.Sampler`) arms
+    windowed time-series collection: the server registers its live
+    probes and the sampler runs as a periodic DES event, so ring/AT
+    depth, windowed utilisation, throughput and latency histograms are
+    captured per window instead of only at end-of-run.  A final partial
+    window is flushed before returning.
     """
     graph = as_graph(target)
     scale: Optional[Dict[str, int]] = None
@@ -181,9 +189,13 @@ def measure_nfp(
                        flow_cache_size=flow_cache_size if flow_cache else 0,
                        injector=injector)
     server.deploy(deployed_from_graph(graph), scale=scale)
+    if sampler is not None:
+        server.arm_sampler(sampler)
     flows = FlowGenerator(num_flows=num_flows, sizes=sizes, seed=seed)
     source = TrafficSource(env, server.inject, rate, packets, flows=flows, seed=seed)
     _drain(env)
+    if sampler is not None:
+        sampler.flush(env.now)
     server.collect_telemetry()
 
     return MeasurementResult(

@@ -39,6 +39,16 @@ from .export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from .timeseries import Sampler, TimeSeries, Window, sparkline
+from .watch import AlertEvent, WatchRule, Watcher, parse_rule
+from .critpath import (
+    SEGMENT_NAMES,
+    CritPath,
+    CritPathReport,
+    critical_path,
+    critpath_report,
+)
+from .prometheus import sanitize_metric_name, to_prometheus, write_prometheus
 
 __all__ = [
     "Counter",
@@ -63,4 +73,20 @@ __all__ = [
     "write_chrome_trace",
     "nf_summary_table",
     "multiserver_summary_table",
+    "Sampler",
+    "TimeSeries",
+    "Window",
+    "sparkline",
+    "AlertEvent",
+    "WatchRule",
+    "Watcher",
+    "parse_rule",
+    "SEGMENT_NAMES",
+    "CritPath",
+    "CritPathReport",
+    "critical_path",
+    "critpath_report",
+    "to_prometheus",
+    "write_prometheus",
+    "sanitize_metric_name",
 ]

@@ -74,10 +74,21 @@ def to_chrome_trace(events: Iterable[SpanEvent]) -> Dict:
     Timestamps are already microseconds -- exactly Chrome's unit.  The
     trace viewer groups rows by (pid, tid): we map the service graph's
     MID to pid and the component name (NF, classifier, merger, ring) to
-    tid, so one graph's lanes line up per component.
+    an integer tid, emitting ``thread_name`` metadata ("M") events so
+    each lane is labelled with the full component label -- including the
+    scaled-instance (``name#k``) and restart (``name~rN``) suffixes,
+    which keeps scaled/restarted runs readable in the viewer.
     """
     trace_events: List[Dict] = []
     open_starts: Dict[tuple, SpanEvent] = {}
+    tids: Dict[str, int] = {}
+    threads: set = set()  # (pid, tid, label) lanes actually used
+
+    def lane(pid: int, label: str) -> int:
+        tid = tids.setdefault(label, len(tids) + 1)
+        threads.add((pid, tid, label))
+        return tid
+
     for event in sorted(events, key=lambda ev: (ev.ts_us, ev.seq)):
         slot = (event.mid, event.pid, event.version, event.name)
         args = {"packet": event.pid, "version": event.version}
@@ -96,7 +107,7 @@ def to_chrome_trace(events: Iterable[SpanEvent]) -> Dict:
                 "ts": begin,
                 "dur": max(0.0, event.ts_us - begin),
                 "pid": event.mid,
-                "tid": event.name or "nf",
+                "tid": lane(event.mid, event.name or "nf"),
                 "args": args,
             })
             continue
@@ -107,7 +118,7 @@ def to_chrome_trace(events: Iterable[SpanEvent]) -> Dict:
             "s": "p",
             "ts": event.ts_us,
             "pid": event.mid,
-            "tid": event.name or event.kind.value,
+            "tid": lane(event.mid, event.name or event.kind.value),
             "args": args,
         })
     # Unmatched starts (packet still in flight at shutdown) surface as
@@ -120,12 +131,23 @@ def to_chrome_trace(events: Iterable[SpanEvent]) -> Dict:
             "ts": start.ts_us,
             "dur": 0.0,
             "pid": start.mid,
-            "tid": start.name or "nf",
+            "tid": lane(start.mid, start.name or "nf"),
             "args": {"packet": start.pid, "version": start.version,
                      "incomplete": True},
         })
     trace_events.sort(key=lambda entry: entry["ts"])
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for pid, tid, label in sorted(threads)
+    ]
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
 
 
 def events_from_chrome_trace(document: Dict) -> List[SpanEvent]:
@@ -138,6 +160,8 @@ def events_from_chrome_trace(document: Dict) -> List[SpanEvent]:
     """
     events: List[SpanEvent] = []
     for entry in document.get("traceEvents", []):
+        if entry.get("ph") == "M":
+            continue  # thread_name and friends carry no span payload
         kind = SpanKind(entry["cat"])
         args = dict(entry.get("args") or {})
         pid = int(args.pop("packet"))

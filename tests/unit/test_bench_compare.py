@@ -94,7 +94,7 @@ def test_volatile_metrics_are_reported_but_never_gate():
 def test_schema_mismatch_refuses_to_compare():
     old = _report(_scenario("chain"))
     new = _report(_scenario("chain"))
-    new.schema = "repro.bench/2"
+    new.schema = "repro.bench/0"
     with pytest.raises(ValueError, match="schema mismatch"):
         compare_reports(old, new)
 

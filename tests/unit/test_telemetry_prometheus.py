@@ -1,0 +1,69 @@
+"""Unit + golden-file tests for the Prometheus text-exposition exporter."""
+
+import os
+
+from repro.telemetry import TelemetryHub, sanitize_metric_name, to_prometheus
+from repro.telemetry.prometheus import write_prometheus
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "..", "golden",
+                      "prometheus_exposition.txt")
+
+
+def _golden_hub() -> TelemetryHub:
+    """A small deterministic registry exercising all three metric types."""
+    hub = TelemetryHub()
+    hub.inc("tx.packets", 42)
+    hub.inc("drops.ring_full", 3)
+    hub.inc("merger.at_timeout", 2)
+    hub.gauge("ring.ids#1.occupancy", 0.25)
+    hub.gauge("at.depth", 7.0)
+    for value in (5.0, 50.0, 500.0, 500.0):
+        hub.observe("latency_us", value, bounds=(10.0, 100.0, 1000.0))
+    return hub
+
+
+# -------------------------------------------------------------- sanitizing
+def test_sanitize_metric_name():
+    assert (sanitize_metric_name("ring.ids#1.rx.depth")
+            == "repro_ring_ids_1_rx_depth")
+    assert sanitize_metric_name("tx.packets", prefix="") == "tx_packets"
+    # Leading digit after an empty prefix gets guarded.
+    assert sanitize_metric_name("2fast", prefix="").startswith("_")
+
+
+# -------------------------------------------------------------- exposition
+def test_counters_gain_total_suffix_and_histograms_are_cumulative():
+    text = to_prometheus(_golden_hub().registry)
+    assert "repro_tx_packets_total 42" in text
+    assert "repro_ring_ids_1_occupancy 0.25" in text
+    # Cumulative le buckets: 1 sample <=10, 2 <=100, 4 <=1000, 4 total.
+    assert 'repro_latency_us_bucket{le="10"} 1' in text
+    assert 'repro_latency_us_bucket{le="100"} 2' in text
+    assert 'repro_latency_us_bucket{le="1000"} 4' in text
+    assert 'repro_latency_us_bucket{le="+Inf"} 4' in text
+    assert "repro_latency_us_count 4" in text
+
+
+def test_empty_registry_renders_empty_string():
+    assert to_prometheus(TelemetryHub().registry) == ""
+
+
+def test_exposition_matches_golden_file(tmp_path):
+    """The committed golden file pins the exact exposition format.
+
+    Regenerate deliberately after a format change::
+
+        PYTHONPATH=src python -c "
+        from tests.unit.test_telemetry_prometheus import _golden_hub, GOLDEN
+        from repro.telemetry.prometheus import write_prometheus
+        write_prometheus(_golden_hub().registry, GOLDEN)"
+    """
+    rendered = write_prometheus(_golden_hub().registry,
+                                str(tmp_path / "metrics.txt"))
+    with open(GOLDEN, encoding="utf-8") as handle:
+        assert rendered == handle.read()
+
+
+def test_exposition_is_deterministic():
+    assert (to_prometheus(_golden_hub().registry)
+            == to_prometheus(_golden_hub().registry))

@@ -121,10 +121,20 @@ def test_chrome_trace_round_trip():
     # Valid JSON and well-formed trace_event structure.
     document = json.loads(json.dumps(document))
     assert document["traceEvents"]
-    assert all(entry["ph"] in ("X", "i") for entry in document["traceEvents"])
+    assert all(entry["ph"] in ("X", "i", "M")
+               for entry in document["traceEvents"])
     slices = [entry for entry in document["traceEvents"] if entry["ph"] == "X"]
     assert {entry["name"] for entry in slices} == {"fw", "ids", "mon"}
     assert all(entry["dur"] == pytest.approx(2.0) for entry in slices)
+    # Every (pid, tid) lane used by a slice is labelled with the
+    # component name via a thread_name metadata event.
+    labels = {
+        (entry["pid"], entry["tid"]): entry["args"]["name"]
+        for entry in document["traceEvents"]
+        if entry["ph"] == "M" and entry["name"] == "thread_name"
+    }
+    for entry in slices:
+        assert labels[(entry["pid"], entry["tid"])] == entry["name"]
 
     restored = events_from_chrome_trace(document)
     original = tracer.traces()[(1, 7)]
@@ -142,7 +152,7 @@ def test_chrome_trace_unmatched_start_becomes_zero_slice():
     tracer = Tracer()
     tracer.record(SpanKind.NF_START, 1.0, 1, 1, 1, name="fw")
     document = to_chrome_trace(tracer.events)
-    (entry,) = document["traceEvents"]
+    (entry,) = [e for e in document["traceEvents"] if e["ph"] != "M"]
     assert entry["ph"] == "X" and entry["dur"] == 0.0
     assert entry["args"]["incomplete"] is True
 
