@@ -77,6 +77,7 @@ def run_fuzz(
     instances: int = 1,
     faults: Sequence[str] = (),
     audit_profiles: bool = False,
+    batched: bool = False,
 ) -> FuzzReport:
     """Run a seeded fuzzing session under a case/time budget.
 
@@ -100,7 +101,15 @@ def run_fuzz(
     ``profile-violation``).  Ignored in fault mode -- injected crashes
     drop packets through the NF scope and would be misattributed as
     undeclared drops.
+
+    ``batched`` runs the batched plane as a fourth output set per case,
+    checked byte-for-byte against the functional plane and word-for-word
+    against the DES metadata (see
+    :func:`repro.check.differential.run_case`).  Not valid in fault
+    mode: the batched plane models healthy semantics only.
     """
+    if batched and faults:
+        raise ValueError("batched parity cannot run in fault mode")
     tweaks = [ProfileTweak.parse(spec) for spec in inject]
     generator = CaseGenerator(
         seed=seed, max_nfs=max_nfs, packets_per_case=packets_per_case,
@@ -123,7 +132,8 @@ def run_fuzz(
         else:
             outcome = run_case(case, include_des=include_des,
                                telemetry=telemetry, instances=instances,
-                               audit_profiles=audit_profiles)
+                               audit_profiles=audit_profiles,
+                               batched=batched)
         telemetry.inc("fuzz.cases")
         report.cases += 1
         report.packets += outcome.packets
@@ -136,13 +146,14 @@ def run_fuzz(
         if shrink and not faults:
             failure.shrunk = shrink_case(
                 case, include_des=include_des, telemetry=telemetry,
-                instances=instances, audit_profiles=audit_profiles)
+                instances=instances, audit_profiles=audit_profiles,
+                batched=batched)
             if log:
                 log(f"case {index}: {failure.shrunk.summary()}")
             if out_dir:
                 failure.json_path, failure.test_path = write_repro(
                     failure.shrunk, out_dir, include_des=include_des,
-                    instances=instances)
+                    instances=instances, batched=batched)
                 if log:
                     log(f"case {index}: repro written to {failure.json_path} "
                         f"and {failure.test_path}")
@@ -183,13 +194,15 @@ def replay_corpus(
     telemetry: TelemetryHub = NULL_HUB,
     instances: int = 1,
     audit_profiles: bool = False,
+    batched: bool = False,
 ) -> List[Tuple[str, CaseOutcome]]:
     """Re-run every ``*.json`` seed in ``corpus_dir`` (sorted, stable)."""
     results: List[Tuple[str, CaseOutcome]] = []
     for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
         case = FuzzCase.load(path)
         outcome = run_case(case, include_des=include_des, telemetry=telemetry,
-                           instances=instances, audit_profiles=audit_profiles)
+                           instances=instances, audit_profiles=audit_profiles,
+                           batched=batched)
         telemetry.inc("fuzz.cases")
         results.append((path, outcome))
     return results

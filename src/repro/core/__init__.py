@@ -43,6 +43,7 @@ from .graph import (
     Stage,
     StageEntry,
 )
+from .closures import CompiledGraph, CopyCounters
 from .compiler import CompilationResult, CompileError, NFPCompiler, compile_policy
 from .tables import (
     MERGER_TARGET,
@@ -113,6 +114,8 @@ __all__ = [
     "CompilationResult",
     "CompileError",
     "compile_policy",
+    "CompiledGraph",
+    "CopyCounters",
     "build_tables",
     "TableSet",
     "ClassificationTable",

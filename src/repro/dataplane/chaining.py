@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..core.closures import CompiledGraph
 from ..core.graph import ServiceGraph
 from ..core.tables import ClassificationTable, CTEntry, FTAction, TableSet
 
@@ -23,6 +24,13 @@ class ChainingManager:
         self.classification = ClassificationTable()
         self._graphs: Dict[int, ServiceGraph] = {}
         self._forwarding: Dict[int, Dict[str, List[FTAction]]] = {}
+        #: Install-time compiled action closures, one per MID: the FT/MO
+        #: walk flattened so the batched hot path never touches the graph
+        #: object model per packet.
+        self._compiled: Dict[int, CompiledGraph] = {}
+        #: How many graph compilations ran (tests pin this to the number
+        #: of installs, proving compilation stays off the packet path).
+        self.closures_compiled = 0
         #: Called after every table (re)install; the classifier's flow
         #: cache registers here so no stale per-flow decision survives a
         #: graph recompile.
@@ -37,6 +45,8 @@ class ChainingManager:
         self.classification.install(tables.ct_entry)
         self._graphs[tables.mid] = tables.graph
         self._forwarding[tables.mid] = tables.forwarding
+        self._compiled[tables.mid] = CompiledGraph(tables.graph)
+        self.closures_compiled += 1
         for listener in self._install_listeners:
             listener()
 
@@ -45,6 +55,12 @@ class ChainingManager:
             return self._graphs[mid]
         except KeyError:
             raise KeyError(f"no graph installed for MID {mid}") from None
+
+    def compiled_for(self, mid: int) -> CompiledGraph:
+        try:
+            return self._compiled[mid]
+        except KeyError:
+            raise KeyError(f"no compiled graph for MID {mid}") from None
 
     def ct_entry_for(self, mid: int) -> CTEntry:
         return self.classification.by_mid(mid)

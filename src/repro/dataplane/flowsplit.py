@@ -28,7 +28,7 @@ from __future__ import annotations
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core.graph import ServiceGraph
 from ..core.tables import CTEntry
@@ -128,11 +128,17 @@ def assign_instances(
 
 @dataclass
 class FlowDecision:
-    """The memoized classifier verdict for one flow."""
+    """The memoized classifier verdict for one flow.
+
+    ``runner`` is the batched plane's bound action closure (the compiled
+    graph closed over this flow's NF instances); the scalar DES server
+    leaves it ``None``.
+    """
 
     ct_entry: CTEntry
     graph: ServiceGraph
     assignment: Dict[str, int]
+    runner: Optional[Callable] = None
 
 
 class FlowCache:

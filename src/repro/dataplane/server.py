@@ -607,11 +607,18 @@ class NFPServer:
                     if cache.put(key, decision) and hub.enabled:
                         hub.inc("classifier.cache_evict")
                 work.append((pkt, decision))
+            fanout = {} if params.burst_transfers else None
             for pkt, decision in work:
                 pkt.stamp("classified", self.env.now)
-                extra = self._classify_one(pkt, decision)
+                extra = self._classify_one(pkt, decision, fanout)
                 if extra > 0:
                     yield self.core_execute_classifier(extra)
+            if fanout:
+                # Slot-based transfers: one delayed event per target
+                # ring moves the whole burst (same per-packet residency
+                # and drop policy as packet-at-a-time _post).
+                for ring, pkts in fanout.items():
+                    self._post_burst(ring, pkts)
 
     def core_execute_classifier(self, duration: float):
         return self.classifier_core.execute(duration)
@@ -636,8 +643,15 @@ class NFPServer:
                                 healthy=self.health.view(),
                                 telemetry=self.telemetry)
 
-    def _classify_one(self, pkt: Packet, decision: FlowDecision) -> float:
-        """Tag metadata, run CT actions; returns extra core time spent."""
+    def _classify_one(
+        self, pkt: Packet, decision: FlowDecision, fanout: Optional[dict] = None
+    ) -> float:
+        """Tag metadata, run CT actions; returns extra core time spent.
+
+        ``fanout`` (burst-transfer mode) collects ring -> packet lists
+        for the caller to move with one :meth:`_post_burst` per ring
+        instead of posting each reference individually.
+        """
         ct_entry, graph = decision.ct_entry, decision.graph
         pid = self._next_pid = (self._next_pid + 1) % (1 << 40)
         pkt.meta = PacketMeta(mid=ct_entry.mid, pid=pid, version=ORIGINAL_VERSION)
@@ -664,7 +678,11 @@ class NFPServer:
         for version in sorted(stage0.versions()):
             for entry in stage0.entries_on(version):
                 pkt_v = state.versions[version]
-                self._post(self._ring_for(entry.node.name, state), pkt_v)
+                ring = self._ring_for(entry.node.name, state)
+                if fanout is None:
+                    self._post(ring, pkt_v)
+                else:
+                    fanout.setdefault(ring, []).append(pkt_v)
                 extra += self.params.ring_hop_us
         return extra
 
@@ -821,6 +839,41 @@ class NFPServer:
                     hub.inc("ring.retry")
                 yield self.env.timeout(self.params.ring_retry_backoff_us)
             ring.try_put(pkt)  # overflow -> the ring's on_drop hook
+
+        self.env.process(delayed())
+
+    def _post_burst(self, ring: Ring, pkts: List[Packet],
+                    delay: Optional[float] = None) -> None:
+        """Deliver a whole burst of references with one delayed event.
+
+        The slot-based counterpart of :meth:`_post`: same batch-latency
+        residency, same fault diversion and retry/drop policy, but the
+        simulator schedules a single transfer event per target ring per
+        burst instead of one per packet.
+        """
+        wait = self.params.batch_wait_us if delay is None else delay
+        hub = self.telemetry
+        if hub.enabled:
+            hub.inc("ring.hops", len(pkts))
+            for pkt in pkts:
+                hub.span(SpanKind.ENQUEUE, self.env.now, pkt.meta,
+                         name=ring.name)
+
+        def delayed():
+            yield self.env.timeout(wait)
+            owner = getattr(ring, "owner", None)
+            if (owner is not None and self.injector is not None
+                    and self.injector.is_down(owner.nf.name)):
+                for pkt in pkts:
+                    self.fault_abort(owner, pkt)
+                return
+            retries = self.params.ring_retry_limit
+            while ring.is_full and retries > 0:
+                retries -= 1
+                if hub.enabled:
+                    hub.inc("ring.retry")
+                yield self.env.timeout(self.params.ring_retry_backoff_us)
+            ring.try_put_burst(pkts)  # rejects -> the ring's on_drop hook
 
         self.env.process(delayed())
 

@@ -59,6 +59,10 @@ class MeasurementResult:
     nil_dropped: int
     resource_overhead: float
     cores_used: int
+    #: Simulator events dispatched during the run (0 for harnesses that
+    #: do not report it); lets event-core optimisations (calendar
+    #: scheduler, burst ring transfers) report their DES-side savings.
+    events_processed: int = 0
 
     @property
     def lossless(self) -> bool:
@@ -124,6 +128,7 @@ def measure_nfp(
     flow_cache_size: int = 4096,
     faults: Union[str, Sequence[str], None] = None,
     sampler=None,
+    scheduler: str = "heap",
 ) -> MeasurementResult:
     """Measure an NFP service graph end to end.
 
@@ -151,6 +156,12 @@ def measure_nfp(
     depth, windowed utilisation, throughput and latency histograms are
     captured per window instead of only at end-of-run.  A final partial
     window is flushed before returning.
+
+    ``scheduler`` selects the simulator's pending-event structure
+    (``"heap"`` or ``"calendar"``; see
+    :class:`repro.sim.engine.Environment`).  Event order is identical
+    either way -- the property suite proves it -- so measured numbers do
+    not depend on the choice.
     """
     graph = as_graph(target)
     scale: Optional[Dict[str, int]] = None
@@ -168,7 +179,8 @@ def measure_nfp(
     fraction = params.latency_load_fraction if load_fraction is None else load_fraction
     rate = max(1e-6, capacity.mpps * fraction)
 
-    env = Environment(track_stats=telemetry is not None and telemetry.enabled)
+    env = Environment(track_stats=telemetry is not None and telemetry.enabled,
+                      scheduler=scheduler)
 
     def factory(kind: str, name: str):
         nf = create_nf(kind, name=name)
@@ -210,6 +222,7 @@ def measure_nfp(
         nil_dropped=server.nil_dropped,
         resource_overhead=server.pool.copy_overhead_fraction(),
         cores_used=server.cores_used,
+        events_processed=env.events_processed,
     )
 
 

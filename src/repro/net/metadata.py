@@ -1,0 +1,121 @@
+"""Struct-of-arrays metadata words for the batched hot path.
+
+The scalar planes hang a :class:`~repro.net.packet.PacketMeta` object off
+every packet and chase three attributes per touch.  The batched plane
+(:mod:`repro.dataplane.batched`) instead keeps the 64-bit MID|PID|version
+words (Fig. 5) in one flat ``array('Q')`` and indexes by batch slot --
+one machine word per packet, no per-packet object allocation until a
+packet actually leaves the plane.
+
+:func:`pack_word` / :func:`unpack_word` are bit-compatible with
+``PacketMeta.pack()`` / ``PacketMeta.unpack()`` by construction; the
+property suite (``tests/property/test_soa_metadata.py``) pins the
+equivalence over every field boundary value.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Tuple
+
+from .packet import PacketMeta
+
+__all__ = [
+    "MID_BITS",
+    "PID_BITS",
+    "VERSION_BITS",
+    "MAX_MID",
+    "MAX_PID",
+    "MAX_VERSION",
+    "pack_word",
+    "unpack_word",
+    "MetaArray",
+]
+
+#: Field widths, mirrored from :class:`PacketMeta` (Fig. 5).
+MID_BITS = PacketMeta.MID_BITS
+PID_BITS = PacketMeta.PID_BITS
+VERSION_BITS = PacketMeta.VERSION_BITS
+
+#: Inclusive field maxima.
+MAX_MID = (1 << MID_BITS) - 1
+MAX_PID = (1 << PID_BITS) - 1
+MAX_VERSION = (1 << VERSION_BITS) - 1
+
+_PID_SHIFT = VERSION_BITS
+_MID_SHIFT = PID_BITS + VERSION_BITS
+_PID_MASK = MAX_PID << _PID_SHIFT
+_VERSION_MASK = MAX_VERSION
+
+
+def pack_word(mid: int, pid: int, version: int = 1) -> int:
+    """Encode one MID|PID|version metadata word (== ``PacketMeta.pack``)."""
+    if not 0 <= mid <= MAX_MID:
+        raise ValueError(f"MID out of {MID_BITS}-bit range: {mid}")
+    if not 0 <= pid <= MAX_PID:
+        raise ValueError(f"PID out of {PID_BITS}-bit range: {pid}")
+    if not 0 <= version <= MAX_VERSION:
+        raise ValueError(f"version out of {VERSION_BITS}-bit range: {version}")
+    return (mid << _MID_SHIFT) | (pid << _PID_SHIFT) | version
+
+
+def unpack_word(word: int) -> Tuple[int, int, int]:
+    """Decode a metadata word back to ``(mid, pid, version)``."""
+    if not 0 <= word < (1 << 64):
+        raise ValueError(f"metadata word out of 64-bit range: {word}")
+    return (
+        word >> _MID_SHIFT,
+        (word & _PID_MASK) >> _PID_SHIFT,
+        word & _VERSION_MASK,
+    )
+
+
+class MetaArray:
+    """A flat ``array('Q')`` of metadata words, indexed by batch slot.
+
+    The batched classifier appends one word per classified packet;
+    downstream code reads single fields without materialising a
+    :class:`PacketMeta` until the packet is emitted (:meth:`as_meta`).
+    """
+
+    __slots__ = ("words",)
+
+    def __init__(self, words: Iterable[int] = ()):
+        self.words = array("Q", words)
+
+    def append(self, mid: int, pid: int, version: int = 1) -> int:
+        """Append a packed word; returns its slot index."""
+        self.words.append(pack_word(mid, pid, version))
+        return len(self.words) - 1
+
+    def append_word(self, word: int) -> int:
+        self.words.append(word)
+        return len(self.words) - 1
+
+    def word(self, index: int) -> int:
+        return self.words[index]
+
+    def set_word(self, index: int, word: int) -> None:
+        self.words[index] = word
+
+    def mid(self, index: int) -> int:
+        return self.words[index] >> _MID_SHIFT
+
+    def pid(self, index: int) -> int:
+        return (self.words[index] & _PID_MASK) >> _PID_SHIFT
+
+    def version(self, index: int) -> int:
+        return self.words[index] & _VERSION_MASK
+
+    def as_meta(self, index: int) -> PacketMeta:
+        """Materialise slot ``index`` as a :class:`PacketMeta` object."""
+        return PacketMeta.unpack(self.words[index])
+
+    def clear(self) -> None:
+        del self.words[:]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetaArray({len(self.words)} words)"

@@ -219,17 +219,51 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
 
-    def __init__(self, initial_time: float = 0.0, track_stats: bool = False):
+    ``scheduler`` selects the event-queue implementation: ``"heap"``
+    (the default binary heap) or ``"calendar"`` (the
+    :class:`~repro.sim.calendar.CalendarQueue`, O(1) amortised when
+    event times are dense).  Both yield the exact same event order --
+    ties resolve by scheduling id either way -- which the property
+    suite verifies over arbitrary schedules.
+    """
+
+    SCHEDULERS = ("heap", "calendar")
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        track_stats: bool = False,
+        scheduler: str = "heap",
+    ):
+        if scheduler not in self.SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; pick from {self.SCHEDULERS}"
+            )
         self._now = float(initial_time)
-        self._queue: List = []
+        self.scheduler = scheduler
         self._eid = itertools.count()
         self.queue_high_watermark = 0
-        if track_stats:
-            # Shadow the class method with the tracking variant on this
-            # instance only, so the default event loop pays nothing.
-            self._schedule = self._schedule_tracked  # type: ignore[method-assign]
+        if scheduler == "calendar":
+            from .calendar import CalendarQueue
+
+            self._queue: List = CalendarQueue(start=self._now)
+            # Shadow the heap methods on this instance only; the default
+            # heap path stays branch-free.
+            self._schedule = (  # type: ignore[method-assign]
+                self._schedule_calendar_tracked
+                if track_stats
+                else self._schedule_calendar
+            )
+            self.step = self._step_calendar  # type: ignore[method-assign]
+        else:
+            self._queue = []
+            if track_stats:
+                # Shadow the class method with the tracking variant on
+                # this instance only, so the default event loop pays
+                # nothing.
+                self._schedule = self._schedule_tracked  # type: ignore[method-assign]
 
     @property
     def now(self) -> float:
@@ -320,6 +354,21 @@ class Environment:
         if len(self._queue) > self.queue_high_watermark:
             self.queue_high_watermark = len(self._queue)
 
+    def _schedule_calendar(self, event: Event, delay: float = 0.0) -> None:
+        """`_schedule` against the calendar queue (``scheduler="calendar"``)."""
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._queue.push(self._now + delay, next(self._eid), event)
+
+    def _schedule_calendar_tracked(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._queue.push(self._now + delay, next(self._eid), event)
+        if len(self._queue) > self.queue_high_watermark:
+            self.queue_high_watermark = len(self._queue)
+
     def step(self) -> None:
         """Process the single next event in the queue."""
         if not self._queue:
@@ -332,6 +381,19 @@ class Environment:
             callback(event)
         if not event._ok and not callbacks and not getattr(event, "_defused", False):
             # An unhandled failure with nobody listening: surface it.
+            raise event._value
+
+    def _step_calendar(self) -> None:
+        """`step` popping from the calendar queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = self._queue.pop_min()
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and not getattr(event, "_defused", False):
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:

@@ -92,6 +92,29 @@ class Ring:
         if not self.try_put(item):
             raise RingFullError(self.name or "ring")
 
+    def put_burst(self, items: List[Any]) -> int:
+        """Enqueue items until the ring fills; return how many made it.
+
+        ``rte_ring_enqueue_burst`` semantics: the leftover tail is the
+        caller's problem -- nothing is dropped or counted here.
+        """
+        accepted = 0
+        for item in items:
+            if self.is_full:
+                break
+            self._deliver(item)
+            accepted += 1
+        return accepted
+
+    def try_put_burst(self, items: List[Any]) -> int:
+        """Enqueue what fits; count (and report) a drop per rejected item."""
+        accepted = self.put_burst(items)
+        for item in items[accepted:]:
+            self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(item)
+        return accepted
+
     def _deliver(self, item: Any) -> None:
         # Hand the item straight to a waiting consumer when one exists;
         # otherwise buffer it.

@@ -1,0 +1,99 @@
+"""Integration: batched-plane parity gates over the committed corpus.
+
+The tier-1 guarantees of the batch refactor, end to end:
+
+* every committed fuzz-corpus seed replays with the batched plane as the
+  fourth output set -- byte-identical packets vs. the scalar planes and
+  word-identical metadata vs. the DES classifier -- at 1 and 4
+  instances;
+* closure compilation happens at install time only: processing any
+  number of packets compiles nothing new;
+* classification is amortized (CT walks ~ flows, not packets);
+* the calendar-queue scheduler reproduces the heap's measurements
+  exactly, field for field;
+* burst ring transfers keep delivery/drop accounting identical while
+  cutting simulator events, with only the documented deterministic
+  latency shift.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.dataplane.chaining as chaining_mod
+from repro.check import replay_corpus
+from repro.dataplane import BatchedDataplane
+from repro.eval.experiments import NORTH_SOUTH_CHAIN
+from repro.eval.forced import forced_sequential
+from repro.eval.harness import as_graph, measure_nfp
+from repro.sim import DEFAULT_PARAMS
+from repro.traffic import FlowGenerator
+
+
+@pytest.mark.parametrize("instances", [1, 4])
+def test_corpus_replays_clean_with_batched_plane(instances):
+    results = replay_corpus("tests/corpus", batched=True,
+                            instances=instances)
+    assert results, "committed corpus must not be empty"
+    failing = [(path, outcome.kind, outcome.detail)
+               for path, outcome in results if not outcome.ok]
+    assert failing == []
+
+
+def test_closures_compile_at_install_time_only(monkeypatch):
+    plane = BatchedDataplane(forced_sequential(["firewall", "monitor"]))
+    assert plane.chaining.closures_compiled == 1
+
+    def exploding_init(self, graph):  # pragma: no cover - must not run
+        raise AssertionError("closure compilation on the packet path")
+
+    # After install, graph compilation must never run again -- the
+    # per-packet path is dict lookups and prebound closures only.
+    monkeypatch.setattr(chaining_mod.CompiledGraph, "__init__",
+                        exploding_init)
+    packets = FlowGenerator(num_flows=8, seed=11).packets(64)
+    outputs = plane.process_many(packets)
+    assert len(outputs) == 64
+    assert plane.chaining.closures_compiled == 1
+
+
+def test_classification_amortizes_across_the_run():
+    plane = BatchedDataplane(as_graph(list(NORTH_SOUTH_CHAIN)),
+                             batch_size=16)
+    packets = FlowGenerator(num_flows=10, seed=5).packets(200)
+    plane.process_many(packets)
+    assert plane.processed == 200
+    # One CT/FT walk per distinct flow; everything else hits the memo or
+    # the LRU cache.
+    assert plane.ct_walks == 10
+
+
+def test_calendar_scheduler_reproduces_heap_measurements_exactly():
+    chain = ["firewall", "monitor"]
+    heap = measure_nfp(chain, packets=400, seed=3, scheduler="heap")
+    calendar = measure_nfp(chain, packets=400, seed=3,
+                           scheduler="calendar")
+    assert dataclasses.asdict(calendar) == dataclasses.asdict(heap)
+    assert calendar.events_processed == heap.events_processed > 0
+
+
+def test_burst_transfers_preserve_accounting_and_cut_events():
+    # Burst ring transfers keep delivery/drop/throughput accounting
+    # identical to the per-packet model and are fully deterministic;
+    # the trade is a small latency shift (each burst's posts start when
+    # its last packet clears the classifier) in exchange for a large
+    # drop in simulator events.
+    chain = ["firewall", "monitor", "loadbalancer"]
+    burst_params = DEFAULT_PARAMS.with_overrides(burst_transfers=True)
+    scalar = measure_nfp(chain, packets=400, seed=3)
+    burst = measure_nfp(chain, packets=400, seed=3, params=burst_params)
+    again = measure_nfp(chain, packets=400, seed=3, params=burst_params)
+    assert dataclasses.asdict(burst) == dataclasses.asdict(again)
+    for field in ("throughput_mpps", "bottleneck", "offered_mpps",
+                  "delivered", "lost", "nil_dropped", "cores_used"):
+        assert getattr(burst, field) == getattr(scalar, field), field
+    assert 0 < burst.events_processed < scalar.events_processed
+    # The coalescing shift is bounded by one burst's classifier
+    # occupancy -- a few microseconds, never a regime change.
+    shift = burst.latency_mean_us - scalar.latency_mean_us
+    assert 0.0 <= shift < 5.0
