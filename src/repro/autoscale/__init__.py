@@ -1,0 +1,5 @@
+"""Runtime autoscaling: telemetry-driven live membership change."""
+
+from .controller import Autoscaler, ScaleDecision, ScalePolicy
+
+__all__ = ["Autoscaler", "ScalePolicy", "ScaleDecision"]

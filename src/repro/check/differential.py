@@ -348,6 +348,16 @@ def run_case(
     idents = [spec.ident for spec in case.packets]
     if len(set(idents)) != len(idents):
         raise ValueError("packet idents must be unique within a case")
+    # Idents are the matching key across all planes and the IPv4 field
+    # holding them is 16 bits: a wrapped ident would alias two packets
+    # and could mask a real divergence, so refuse it up front.
+    bad = [i for i in idents if not 0 <= i <= 0xFFFF]
+    if bad:
+        raise ValueError(
+            f"packet idents outside the 16-bit identification field: "
+            f"{bad[:4]}{'...' if len(bad) > 4 else ''} -- runs past 65,535 "
+            "packets must re-key cases, not wrap idents"
+        )
 
     policy = case.policy()
     table = case.action_table()

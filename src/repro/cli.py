@@ -18,6 +18,13 @@ monitor
     then an ASCII sparkline dashboard, the per-packet critical-path
     attribution table, and optionally a Prometheus text exposition
     (``--prom``).  ``--faults`` injects failures to watch the episode.
+autoscale
+    Drive a time-varying load shape (flash crowd, diurnal, burst
+    trains) against a chain with one NF under an autoscaling policy:
+    watch rules fire on windowed telemetry, membership changes execute
+    live (classifier hold, drain barrier, stateful handover), and the
+    summary compares elastic core-seconds against static peak
+    provisioning next to the conservation ledger.
 bench
     Run the registered benchmark scenarios (``--quick``/``--full``)
     into a schema-versioned ``BENCH_<n>.json`` report, or compare two
@@ -350,6 +357,143 @@ def cmd_monitor(args) -> int:
     if args.prom:
         print(f"\nprometheus exposition: {args.prom}")
     return 0
+
+
+def cmd_autoscale(args) -> int:
+    """Drive a time-varying load against an elastically scaled chain."""
+    import json
+
+    from .autoscale import ScalePolicy
+    from .eval.harness import measure_autoscale
+    from .telemetry import TelemetryHub, sparkline
+    from .traffic import (
+        BurstTrainShape,
+        ConstantShape,
+        DiurnalShape,
+        FlashCrowdShape,
+    )
+
+    policy = _load_policy(args)
+    graph = Orchestrator().compile(policy).graph
+    if args.nf not in graph.nf_names():
+        raise SystemExit(f"--nf {args.nf!r} is not an NF of the chain "
+                         f"({', '.join(graph.nf_names())})")
+
+    base, peak = args.base_mpps, args.peak_mpps
+    horizon = args.packets / (base * 2.0)
+    if args.shape == "flash":
+        shape = FlashCrowdShape(
+            base_mpps=base, peak_mpps=peak,
+            start_us=0.2 * horizon, ramp_us=0.1 * horizon,
+            hold_us=0.35 * horizon, decay_us=0.15 * horizon)
+    elif args.shape == "diurnal":
+        shape = DiurnalShape(base_mpps=base, peak_mpps=peak,
+                             period_us=horizon)
+    elif args.shape == "bursts":
+        shape = BurstTrainShape(base_mpps=base, burst_mpps=peak,
+                                period_us=horizon / 8.0,
+                                burst_len_us=horizon / 32.0)
+    else:
+        shape = ConstantShape(base)
+
+    window_us = args.window_us
+    if window_us is None:
+        window_us = max(10.0, horizon / 100.0)
+    scale_policy = ScalePolicy(
+        args.nf,
+        min_instances=args.min_instances,
+        max_instances=args.max_instances,
+        up_rule=args.up_rule,
+        down_rule=args.down_rule,
+        cooldown_us=(3.0 * window_us if args.cooldown_us is None
+                     else args.cooldown_us),
+    )
+    hub = TelemetryHub()
+    orch = Orchestrator()
+    result = measure_autoscale(
+        graph, scale_policy, shape,
+        packets=args.packets, seed=args.seed, telemetry=hub,
+        num_flows=args.num_flows, popularity=args.popularity,
+        window_us=window_us, orchestrator=orch,
+    )
+    scaler = result.scaler
+    watcher = scaler.watcher
+    conservation = result.conservation
+    series = result.sampler.series
+
+    if args.json:
+        document = {
+            "graph": graph.describe(),
+            "shape": args.shape,
+            "packets": args.packets,
+            "windows": series.total_windows,
+            "window_us": window_us,
+            "latency_p99_us": result.measurement.latency_p99_us,
+            "duration_us": result.duration_us,
+            "policy": {
+                "nf": scale_policy.name,
+                "min": scale_policy.min_instances,
+                "max": scale_policy.max_instances,
+                "up_rule": scale_policy.up_rule,
+                "down_rule": scale_policy.down_rule,
+            },
+            "alerts": {"fired": watcher.fired, "cleared": watcher.cleared},
+            "decisions": [
+                {"ts_us": d.ts_us, "direction": d.direction,
+                 "target": d.target, "aborted": d.aborted,
+                 "outcome": d.outcome}
+                for d in scaler.decisions
+            ],
+            "cores": {
+                "peak": result.peak_cores,
+                "elastic_core_us": result.core_us,
+                "static_peak_core_us": result.static_peak_core_us,
+                "savings_fraction": result.core_savings_fraction,
+            },
+            "conservation": conservation,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if conservation["unaccounted"] == 0 else 1
+
+    print(f"\ngraph   : {graph.describe()}")
+    print(f"shape   : {args.shape} {base:g}->{peak:g} Mpps over "
+          f"{result.duration_us:.0f} us")
+    print(f"policy  : {scale_policy.name} "
+          f"{scale_policy.min_instances}..{scale_policy.max_instances}  "
+          f"up[{scale_policy.up_rule}]  down[{scale_policy.down_rule}]")
+    print(f"windows : {series.total_windows} x {window_us:g} us  "
+          f"(p99 {result.measurement.latency_p99_us:.1f} us)")
+    occupancy = list(series.values("ring.occupancy"))
+    if occupancy and any(occupancy):
+        print(f"{'ring occupancy (max)':<24s} {sparkline(occupancy):<60s} "
+              f"peak {max(occupancy):.4g}")
+
+    print()
+    for event in watcher.events:
+        print(event.describe())
+    for decision in scaler.decisions:
+        outcome = decision.outcome or {}
+        status = "ABORTED" if decision.aborted else (
+            f"{outcome.get('from', '?')}->{outcome.get('to', '?')} "
+            f"moved={outcome.get('moved_flows', 0)} "
+            f"handover={outcome.get('handover_flows', 0)} "
+            f"barrier={outcome.get('barrier_us', 0.0):.1f}us")
+        print(f"[{decision.ts_us:12.1f}us] SCALE-{decision.direction.upper()} "
+              f"{scale_policy.name} -> {decision.target} ({status})")
+
+    print(f"\nalerts  : {watcher.fired} fired, {watcher.cleared} cleared")
+    print(f"scale   : {scaler.scale_ups} up, {scaler.scale_downs} down "
+          f"(peak {result.peak_cores} cores)")
+    print(f"cores   : elastic {result.core_us:.0f} core-us vs static-peak "
+          f"{result.static_peak_core_us:.0f} core-us "
+          f"({result.core_savings_fraction * 100:.1f}% saved)")
+    drops = ", ".join(f"{k}={v}" for k, v in conservation["drops"].items())
+    print(f"ledger  : injected={conservation['injected']} "
+          f"emitted={conservation['emitted']} "
+          f"drops[{drops}] unaccounted={conservation['unaccounted']}")
+    record = orch.get(scaler.mid).scaled
+    print(f"record  : {record.describe()}")
+    return 0 if conservation["unaccounted"] == 0 else 1
 
 
 def cmd_fuzz(args) -> int:
@@ -775,6 +919,45 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print a structured JSON summary instead of "
                                 "the dashboard (suppresses live alerts)")
     p_monitor.set_defaults(func=cmd_monitor)
+
+    p_autoscale = sub.add_parser(
+        "autoscale", help="drive a time-varying load against an elastic "
+                          "chain: watch rules rescale one NF live")
+    p_autoscale.add_argument("--policy", help="policy DSL file")
+    p_autoscale.add_argument("--chain", default="nat,vpn",
+                             help="comma-separated NF kinds "
+                                  "(default nat,vpn)")
+    p_autoscale.add_argument("--nf", default="vpn",
+                             help="the NF the policy scales (default vpn)")
+    p_autoscale.add_argument("--min-instances", type=int, default=1)
+    p_autoscale.add_argument("--max-instances", type=int, default=4)
+    p_autoscale.add_argument("--up-rule",
+                             default="ring.occupancy > 0.25 for 2 windows",
+                             help="watch rule that triggers scale-up")
+    p_autoscale.add_argument("--down-rule",
+                             default="ring.occupancy < 0.05 for 6 windows",
+                             help="watch rule that triggers scale-down")
+    p_autoscale.add_argument("--cooldown-us", type=float, default=None,
+                             help="gap between decisions "
+                                  "(default 3 windows)")
+    p_autoscale.add_argument("--shape", default="flash",
+                             choices=["flash", "diurnal", "bursts",
+                                      "constant"],
+                             help="offered-load shape (default flash)")
+    p_autoscale.add_argument("--base-mpps", type=float, default=0.8)
+    p_autoscale.add_argument("--peak-mpps", type=float, default=3.5)
+    p_autoscale.add_argument("--packets", type=int, default=3000)
+    p_autoscale.add_argument("--num-flows", type=int, default=256)
+    p_autoscale.add_argument("--popularity", default="zipf",
+                             choices=["uniform", "zipf"],
+                             help="flow popularity mix (default zipf)")
+    p_autoscale.add_argument("--window-us", type=float, default=None,
+                             help="sampling window (default: horizon/100)")
+    p_autoscale.add_argument("--seed", type=int, default=1)
+    p_autoscale.add_argument("--json", action="store_true",
+                             help="structured JSON summary instead of the "
+                                  "dashboard")
+    p_autoscale.set_defaults(func=cmd_autoscale)
 
     p_bench = sub.add_parser(
         "bench", help="run benchmark scenarios / compare BENCH reports")

@@ -203,6 +203,21 @@ class Orchestrator:
             plan.unprotected = unprotected
         return plan
 
+    def rescale(self, mid: int, name: str, count: int) -> DeployedGraph:
+        """Record a live instance-count change for deployment ``mid``.
+
+        The autoscaler calls this after the dataplane executes a
+        scale-up/scale-down so the orchestrator's record (the
+        :class:`ScaledGraph` with its fresh instance IDs) tracks the
+        actual membership.  Tables are untouched: the CT match and MID
+        survive a §7 rescale, only the RSS instance set changes.
+        """
+        deployed = self.get(mid)
+        if deployed.scaled is None:
+            deployed.scaled = scale_graph(deployed.graph, {})
+        deployed.scaled = deployed.scaled.rescaled(name, count)
+        return deployed
+
     def degrade(self, mid: int) -> DeployedGraph:
         """Deploy the sequential linearization of graph ``mid``.
 

@@ -186,6 +186,21 @@ class ScaledGraph:
             return [name]
         return [f"{name}#{k}" for k in range(count)]
 
+    def rescaled(self, name: str, count: int) -> "ScaledGraph":
+        """A copy of this artifact with one NF's instance count changed.
+
+        The autoscaler's control-plane record: live membership change on
+        the dataplane is mirrored here so ``Orchestrator.deploy`` state
+        and the running server agree on the instance set.
+        """
+        if name not in self.counts:
+            raise ValueError(f"{name!r} is not an NF of this graph")
+        if count < 1:
+            raise ValueError(f"scale for {name!r} must be >= 1")
+        counts = dict(self.counts)
+        counts[name] = count
+        return ScaledGraph(self.base, counts)
+
     @property
     def total_instances(self) -> int:
         return sum(self.counts.values())

@@ -43,6 +43,7 @@ from ..faults.recovery import linearize
 from ..net.packet import HEADER_COPY_BYTES, Packet, PacketMeta
 from ..nfs.base import NetworkFunction, create_nf
 from ..sim import Core, Environment, Nic, PacketPool, RateMeter, Ring, SimParams
+from ..sim.engine import Event, Interrupt
 from ..sim.stats import LatencyStats
 from ..telemetry.hooks import NULL_HUB, TelemetryHub
 from ..telemetry.tracer import SpanKind
@@ -95,9 +96,20 @@ class _NFRuntimeSim:
         #: Back-reference for delivery-time health checks and overflow
         #: accounting (see ``NFPServer._post`` / ``Ring.on_drop``).
         self.rx.owner = self
-        server.env.process(self._run())
+        #: True once a live scale-down retired this instance.
+        self.retired = False
+        #: The poll-loop process; kept so a scale-down can interrupt it.
+        self.proc = server.env.process(self._run())
 
     def _run(self):
+        try:
+            yield from self._poll_loop()
+        except Interrupt:
+            # Live scale-down: the membership barrier already drained
+            # all traffic, so the ring is empty; retire quietly.
+            self.retired = True
+
+    def _poll_loop(self):
         # Batch-synchronous, like a DPDK poll loop: drain a burst,
         # process every packet, then forward the whole burst.  This
         # preserves traffic burstiness through the chain, which is what
@@ -182,6 +194,9 @@ class _RuntimeGroup:
         self.placements: Dict[int, Tuple[int, StageEntry]] = {}
         #: Replacement runtimes spawned after crashes (label suffix).
         self.restarts = 0
+        #: Label-generation counter for autoscale re-adds: a retired
+        #: index re-grown later must not reuse its old label.
+        self.generations = 0
 
     def add(self, runtime: "_NFRuntimeSim") -> None:
         runtime.group = self
@@ -471,6 +486,21 @@ class NFPServer:
         self.degraded_mids: Dict[int, int] = {}
         self._flight_sweeping = False
 
+        # Live membership (autoscaling) state.
+        #: Classifier hold gate: a pending event while a membership
+        #: change drains the pipeline; None when traffic flows freely.
+        self._hold: Optional[Event] = None
+        #: Flow keys seen by the classifier, kept only when a membership
+        #: controller enabled it (state handover needs *every* live
+        #: flow, not just the cached ones).
+        self.flow_directory: Optional[Set[tuple]] = None
+        #: Completed membership changes, in order (dicts; see _rescale).
+        self.scale_events: List[Dict] = []
+        #: Flows whose instance pin changed across all rescales.
+        self.moved_flows = 0
+        #: Moved flows that actually carried NF state across.
+        self.handover_flows = 0
+
         for merger in self.mergers:
             merger.rx.on_drop = self._merger_overflow
 
@@ -565,10 +595,19 @@ class NFPServer:
         hub = self.telemetry
         while True:
             first = yield self.ingress.get()
+            if self._hold is not None:
+                # Membership change in progress: park (holding this
+                # packet unclassified) until the drain barrier lifts, so
+                # no packet observes half-moved NF state.  Later
+                # arrivals buffer in the ingress ring; its overflow path
+                # stays attributed (ingress_full).
+                yield self._hold
             batch = [first] + self.ingress.get_batch(params.batch_size - 1)
             work = []
             for pkt in batch:
                 key = self._flow_key(pkt)
+                if key is not None and self.flow_directory is not None:
+                    self.flow_directory.add(key)
                 decision = None
                 if cache is not None:
                     if key is None:
@@ -626,10 +665,12 @@ class NFPServer:
     def _flow_key(self, pkt: Packet) -> Optional[tuple]:
         """The packet's RSS/flow-cache key; None when it has none.
 
-        Skipped entirely (returns None) when no NF group is replicated
-        and no flow cache is installed -- the unscaled fast path.
+        Skipped entirely (returns None) when no NF group is replicated,
+        no flow cache is installed and no flow directory is tracking --
+        the unscaled fast path.
         """
-        if self.flow_cache is None and not self._scaled_counts:
+        if (self.flow_cache is None and not self._scaled_counts
+                and self.flow_directory is None):
             return None
         return flow_key(pkt)
 
@@ -1097,6 +1138,186 @@ class NFPServer:
         self.telemetry.inc("failover.restarts")
         return runtime
 
+    # --------------------------------------------- live membership (autoscale)
+    @property
+    def active_cores(self) -> int:
+        """Cores doing work right now: classifier + mergers + live NF
+        instances.  Unlike ``cores_used`` (monotonic allocation
+        counter) this drops when a scale-down retires instances -- the
+        quantity core-second accounting integrates."""
+        return 1 + len(self.mergers) + sum(
+            len(group.instances) for group in self.runtimes.values()
+        )
+
+    def enable_flow_directory(self) -> None:
+        """Track every live flow key the classifier sees.
+
+        Membership change must hand per-flow NF state over for *every*
+        moved flow; the flow cache only remembers the hot subset, so a
+        controller turns this on before traffic starts.
+        """
+        if self.flow_directory is None:
+            self.flow_directory = set()
+
+    def request_rescale(self, name: str, count: int,
+                        max_barrier_us: float = 10000.0):
+        """Begin a live instance-count change; returns the DES process.
+
+        The §7+Khalid&Akella protocol runs inside the simulation:
+
+        1. hold the classifier (arrivals buffer in the ingress ring,
+           overflow stays attributed);
+        2. drain barrier: wait until no packet is in flight, so nothing
+           can observe half-moved state;
+        3. grow (spawn runtimes, seed shared state such as the VPN AH
+           sequence floor) or mark the surplus instances for retirement;
+        4. re-split: update the RSS domain and the health board, then
+           move per-flow NF state (NAT bindings) for every flow whose
+           owner changed, and invalidate stale flow-cache pins;
+        5. retire surplus runtimes (interrupting their poll loops) and
+           release the hold.
+
+        Flows that moved may observe reordering across the barrier;
+        unmoved flows keep per-flow order (same instance before/after).
+        """
+        return self.env.process(self._rescale(name, count, max_barrier_us))
+
+    def _rescale(self, name: str, new_count: int, max_barrier_us: float):
+        if name not in self.runtimes:
+            raise ValueError(f"no runtime group {name!r}")
+        if new_count < 1:
+            raise ValueError("instance count must be >= 1")
+        hub = self.telemetry
+        # Serialize concurrent membership changes.
+        while self._hold is not None:
+            yield self.env.timeout(1.0)
+        group = self.runtimes[name]
+        old_count = group.count
+        event: Dict = {
+            "ts_us": self.env.now, "name": name,
+            "from": old_count, "to": new_count,
+            "moved_flows": 0, "handover_flows": 0, "cache_reassigned": 0,
+            "barrier_us": 0.0, "aborted": False,
+        }
+        if new_count == old_count:
+            self.scale_events.append(event)
+            return event
+
+        # 1+2. Hold the classifier and drain the pipeline.
+        self._hold = self.env.event()
+        barrier_start = self.env.now
+        step = max(self.params.batch_wait_us, 1.0)
+        while self._flight and self.env.now - barrier_start < max_barrier_us:
+            yield self.env.timeout(step)
+        event["barrier_us"] = self.env.now - barrier_start
+        if self._flight:
+            # Stuck in-flight packets (hung instance): abort the change
+            # rather than retire instances still holding work.
+            event["aborted"] = True
+            hub.inc("autoscale.barrier_timeout")
+            self.scale_events.append(event)
+            self._release_hold()
+            return event
+
+        # 3. Grow the instance set (scale-down retires after handover).
+        old_counts = dict(self._scaled_counts)
+        old_view = self.health.view()
+        retired: List[_NFRuntimeSim] = []
+        if new_count > old_count:
+            stage_index, entry = group.placements[min(group.placements)]
+            shared = [
+                inst.nf.export_shared_state() for inst in group.instances
+            ]
+            for k in range(old_count, new_count):
+                label = f"{name}#{k}"
+                if label in self.nfs:
+                    group.generations += 1
+                    label = f"{name}#{k}~g{group.generations}"
+                runtime = self._spawn_runtime(label, entry, stage_index)
+                group.add(runtime)
+                # Cross-flow state floor: a fresh instance must not
+                # restart sequences/counters its peers already used.
+                for snap in shared:
+                    if snap is not None:
+                        runtime.nf.import_shared_state(snap)
+            hub.inc("autoscale.scale_up")
+        else:
+            retired = group.instances[new_count:]
+            hub.inc("autoscale.scale_down")
+
+        # 4a. Update the RSS split domain and health registration.
+        if new_count > 1:
+            self._scaled_counts[name] = new_count
+        else:
+            self._scaled_counts.pop(name, None)
+        self.health.resize(name, new_count)
+        new_view = self.health.view()
+
+        # 4b. Per-flow state handover for every flow whose owner moved.
+        keys = set()
+        if self.flow_directory is not None:
+            keys.update(self.flow_directory)
+        if self.flow_cache is not None:
+            keys.update(self.flow_cache.keys())
+        moved = handed = 0
+        for key in sorted(keys):
+            old_idx = assign_instances(
+                key, old_counts, healthy=old_view).get(name, 0)
+            new_idx = assign_instances(
+                key, self._scaled_counts, healthy=new_view).get(name, 0)
+            if old_idx == new_idx:
+                continue
+            moved += 1
+            state = group.instances[old_idx].nf.export_flow_state(key)
+            if state is not None:
+                group.instances[new_idx].nf.import_flow_state(key, state)
+                handed += 1
+        event["moved_flows"] = moved
+        event["handover_flows"] = handed
+        self.moved_flows += moved
+        self.handover_flows += handed
+        if hub.enabled and moved:
+            hub.inc("autoscale.moved_flows", moved)
+            hub.inc("autoscale.handover_flows", handed)
+
+        # 4c. Memoized classifier decisions may pin to the old split:
+        # count the stale ones, then invalidate wholesale (mirror of
+        # the failover path).
+        if self.flow_cache is not None:
+            reassigned = 0
+            for key, decision in zip(self.flow_cache.keys(),
+                                     self.flow_cache.decisions()):
+                if decision.assignment.get(name, 0) != assign_instances(
+                        key, self._scaled_counts,
+                        healthy=new_view).get(name, 0):
+                    reassigned += 1
+            event["cache_reassigned"] = reassigned
+            if reassigned:
+                self.reassigned_flows += reassigned
+                hub.inc("autoscale.reassigned_cache_flows", reassigned)
+            self.flow_cache.invalidate()
+
+        # 5. Retire surplus runtimes: the barrier drained all traffic,
+        # so their rings are empty; interrupt the poll loops, purge any
+        # parked getter, free the instances.
+        if retired:
+            del group.instances[new_count:]
+            for runtime in retired:
+                runtime.retired = True
+                if runtime.proc.is_alive:
+                    runtime.proc.interrupt("scale-down")
+                runtime.rx._getters.clear()
+
+        self.scale_events.append(event)
+        hub.inc("autoscale.rescale")
+        self._release_hold()
+        return event
+
+    def _release_hold(self) -> None:
+        hold, self._hold = self._hold, None
+        if hold is not None and not hold.triggered:
+            hold.succeed()
+
     # ----------------------------------------------------- flight sweeping
     def _maybe_sweep_flight(self) -> None:
         """Arm the lazy flight sweeper (fault runs only).
@@ -1201,14 +1422,25 @@ class NFPServer:
             )
         # Aggregates, so watch rules need no per-component names:
         # worst ring occupancy and total AT depth across the server.
+        # Computed over the *live* membership on every sample, so rings
+        # added (or retired) by autoscaling are seen immediately.
         probes["ring.occupancy"] = (
-            lambda rs=tuple(rings): max(len(r) / r.capacity for r in rs)
+            lambda: max(len(r) / r.capacity for r in self._live_rings())
         )
         probes["at.depth"] = (
             lambda ms=tuple(self.mergers): float(sum(len(m.at) for m in ms))
         )
         probes["flight.depth"] = lambda: float(len(self._flight))
+        probes["cores.active"] = lambda: float(self.active_cores)
         return probes
+
+    def _live_rings(self) -> List[Ring]:
+        """Ingress + merger + every live NF instance ring, right now."""
+        rings = [self.ingress] + [m.rx for m in self.mergers]
+        for group in self.runtimes.values():
+            for runtime in group.instances:
+                rings.append(runtime.rx)
+        return rings
 
     def _window_utilisation_probe(self, core: Core) -> Callable[[], float]:
         """Busy fraction of the interval since the probe last fired."""

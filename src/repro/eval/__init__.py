@@ -1,9 +1,11 @@
 """Evaluation harness: per-figure experiments, models, measurement."""
 
 from .harness import (
+    AutoscaleResult,
     MeasurementResult,
     as_graph,
     deployed_from_graph,
+    measure_autoscale,
     measure_bess,
     measure_nfp,
     measure_onvm,
@@ -45,7 +47,9 @@ from .report import render_table
 
 __all__ = [
     "MeasurementResult",
+    "AutoscaleResult",
     "measure_nfp",
+    "measure_autoscale",
     "measure_onvm",
     "measure_bess",
     "as_graph",

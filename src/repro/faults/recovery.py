@@ -60,6 +60,24 @@ class HealthBoard:
             healthy.append(index)
             healthy.sort()
 
+    def resize(self, name: str, count: int) -> None:
+        """Change the registered instance count live (autoscaling).
+
+        Unlike :meth:`register` this preserves health state: indices
+        that were marked down and still exist stay down; indices removed
+        by a shrink drop out of the healthy list; indices added by a
+        grow are born healthy.
+        """
+        if count < 1:
+            raise ValueError("instance count must be >= 1")
+        old = self._counts.get(name, 0)
+        healthy = self._healthy.setdefault(name, list(range(old)))
+        healthy[:] = [i for i in healthy if i < count]
+        for i in range(old, count):
+            healthy.append(i)
+        healthy.sort()
+        self._counts[name] = count
+
     def healthy(self, name: str) -> List[int]:
         if name in self._healthy:
             return list(self._healthy[name])

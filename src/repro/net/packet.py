@@ -400,7 +400,20 @@ def build_packet(
     ip.protocol = protocol
     ip.src_ip = src_ip
     ip.dst_ip = dst_ip
-    ip.identification = (pkt.uid if identification is None else identification) & 0xFFFF
+    if identification is None:
+        # Auto idents derive from the (monotonic) packet uid and wrap
+        # naturally: nothing in the dataplane keys on them.
+        ip.identification = pkt.uid & 0xFFFF
+    else:
+        # Explicit idents are caller-managed keys (repro.check matches
+        # outputs per-ident): a wrapped value would silently alias two
+        # packets, so fail loudly instead of masking it.
+        if not 0 <= identification <= 0xFFFF:
+            raise ValueError(
+                f"identification {identification} outside the 16-bit field; "
+                "explicit idents must be pre-wrapped by the caller"
+            )
+        ip.identification = identification
 
     l4_off = ETH_HEADER_LEN + Ipv4View.HEADER_LEN
     if protocol == PROTO_TCP:

@@ -114,6 +114,36 @@ class NetworkFunction:
                 hub.inc(f"nf.{self.name}.errors")
         return ctx
 
+    # ------------------------------------------------------ state handover
+    # Live membership change (autoscaling, §7 + Khalid & Akella) moves
+    # flows between instances of a replicated NF.  A stateful NF must
+    # hand its per-flow and cross-flow state over with them, or the new
+    # owner processes packets against a blank table.  Defaults model a
+    # stateless NF: nothing to move.
+
+    def export_flow_state(self, flow_key: tuple) -> Optional[Any]:
+        """Extract (and remove) this NF's state for one flow.
+
+        ``flow_key`` is the classifier 5-tuple ``(src_ip, dst_ip, proto,
+        sport, dport)``.  Returns an opaque blob for
+        :meth:`import_flow_state` on the flow's new owner, or ``None``
+        when there is nothing to move.  The export must *remove* the
+        state locally -- after the handover exactly one instance owns it.
+        """
+        return None
+
+    def import_flow_state(self, flow_key: tuple, state: Any) -> None:
+        """Install state exported by a peer instance for ``flow_key``."""
+
+    def export_shared_state(self) -> Optional[Any]:
+        """Snapshot cross-flow state a *new* instance must not start
+        blank with (e.g. the VPN AH sequence, which must never regress
+        or repeat).  Non-destructive; ``None`` when stateless."""
+        return None
+
+    def import_shared_state(self, state: Any) -> None:
+        """Merge a peer's shared-state snapshot into this instance."""
+
     def reset_stats(self) -> None:
         self.rx_packets = 0
         self.dropped_packets = 0

@@ -55,6 +55,8 @@ class Nat(NetworkFunction):
         self._next_port = port_base
         self._by_internal: Dict[Tuple[str, int], NatBinding] = {}
         self._by_external: Dict[int, NatBinding] = {}
+        #: Moved-in bindings whose external port collided and was remapped.
+        self.handover_remaps = 0
 
     def _allocate(self, internal_ip: str, internal_port: int) -> NatBinding:
         if len(self._by_external) >= self._port_count:
@@ -85,6 +87,44 @@ class Nat(NetworkFunction):
         ip.src_ip = self.external_ip
         l4.src_port = binding.external_port
         ip.update_checksum()
+
+    # ------------------------------------------------------ state handover
+    def export_flow_state(self, flow_key: tuple) -> Optional[dict]:
+        """Detach the binding for one flow so it can move instances.
+
+        The flow key is ``(src_ip, dst_ip, proto, sport, dport)``; NAT
+        state is keyed by the internal (src ip, src port) pair.
+        """
+        binding = self._by_internal.pop((flow_key[0], flow_key[3]), None)
+        if binding is None:
+            return None
+        self._by_external.pop(binding.external_port, None)
+        return {
+            "internal_ip": binding.internal_ip,
+            "internal_port": binding.internal_port,
+            "external_port": binding.external_port,
+            "packets": binding.packets,
+        }
+
+    def import_flow_state(self, flow_key: tuple, state: dict) -> None:
+        """Adopt a moved binding, keeping its external port if free.
+
+        The external port spaces of two NAT instances are independent,
+        so the moved flow's port may already be taken here; in that case
+        a fresh port is allocated (the translation changes, counted in
+        ``handover_remaps``) rather than silently sharing a port.
+        """
+        key = (state["internal_ip"], state["internal_port"])
+        port = state["external_port"]
+        if port in self._by_external or key in self._by_internal:
+            binding = self._allocate(*key) if key not in self._by_internal \
+                else self._by_internal[key]
+            self.handover_remaps += 1
+        else:
+            binding = NatBinding(*key, port)
+            self._by_internal[key] = binding
+            self._by_external[port] = binding
+        binding.packets += state["packets"]
 
     # ------------------------------------------------------ operator API
     def binding_count(self) -> int:

@@ -63,6 +63,17 @@ class VpnEncryptor(NetworkFunction):
             pkt.set_payload(aes_ctr_transform(self.key, self.seq, payload))
         insert_ah(pkt, spi=self.spi, seq=self.seq, icv_key=self.key)
 
+    # ------------------------------------------------------ state handover
+    def export_shared_state(self) -> dict:
+        """Snapshot the AH sequence (cross-flow state, non-destructive)."""
+        return {"seq": self.seq}
+
+    def import_shared_state(self, state: dict) -> None:
+        """Adopt a peer's sequence floor: AH sequences must never
+        regress or repeat, so a new instance starts at the max of what
+        any exporting peer has already used."""
+        self.seq = max(self.seq, int(state["seq"]))
+
 
 class VpnDecryptor(NetworkFunction):
     """Strip the AH and decrypt the payload (the far peer of the tunnel)."""

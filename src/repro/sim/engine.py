@@ -153,7 +153,13 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
-        # Bootstrap: resume the generator at the current time.
+        self._interrupts: List[Interrupt] = []
+        self._interrupt_pending = False
+        # Bootstrap: resume the generator at the current time.  The init
+        # event is deliberately not tracked as the wait target: an
+        # interrupt carrier scheduled before the first resume carries a
+        # later event id, so the bootstrap always runs first and the
+        # Interrupt is never thrown into an unstarted generator.
         init = Event(env)
         init._ok = True
         init.callbacks.append(self._resume)
@@ -168,21 +174,58 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time.
 
         Interrupting a finished process is a no-op error, matching SimPy.
+        Concurrent interrupts are safe: causes queue on the process and a
+        single carrier event drains them in arrival order, so a second
+        interrupt racing the first can never re-enter the generator on a
+        stale dispatch state.
         """
         if not self.is_alive:
             raise SimulationError("cannot interrupt a finished process")
-        if self._target is not None and self in [None]:  # pragma: no cover
-            pass
-        event = Event(self.env)
-        event._ok = False
-        event._value = Interrupt(cause)
-        event._defused = True  # type: ignore[attr-defined]
+        self._interrupts.append(Interrupt(cause))
+        if self._interrupt_pending:
+            # A carrier is already queued; it drains every pending cause.
+            return
+        self._interrupt_pending = True
         # Detach from whatever we were waiting on.
         if self._target is not None and self._resume in self._target.callbacks:
             self._target.callbacks.remove(self._resume)
             self._target = None
-        event.callbacks.append(self._resume)
-        self.env._schedule(event)
+        carrier = Event(self.env)
+        carrier._ok = True
+        carrier.callbacks.append(self._deliver_interrupts)
+        self.env._schedule(carrier)
+
+    def _deliver_interrupts(self, _carrier: Event) -> None:
+        """Throw every queued :class:`Interrupt` into the generator.
+
+        Runs as the carrier event's callback.  Causes queued while this
+        drain is in flight (e.g. by an interrupt handler interrupting
+        itself) are delivered in the same pass; interrupts that raced the
+        process finishing are discarded, never thrown into a closed
+        generator.
+        """
+        self._interrupt_pending = False
+        while self._interrupts:
+            if not self.is_alive:
+                # The process finished between scheduling and delivery
+                # (or a prior cause in this batch killed it): drop the
+                # rest rather than throwing into a closed generator.
+                self._interrupts.clear()
+                return
+            cause = self._interrupts.pop(0)
+            # Detach again at delivery time: the process may have been
+            # resumed (and re-armed on a new target) by an earlier event
+            # at this same timestamp.
+            if (self._target is not None
+                    and self._resume in self._target.callbacks):
+                self._target.callbacks.remove(self._resume)
+            failure = Event(self.env)
+            failure._ok = False
+            failure._value = cause
+            failure._defused = True  # type: ignore[attr-defined]
+            failure._processed = True
+            failure._scheduled = True
+            self._resume(failure)
 
     # -- generator driving ------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -207,11 +250,14 @@ class Process(Event):
                 f"process yielded a non-event: {next_event!r}"
             )
         if next_event.processed:
-            # Its callbacks already ran: resume at the current time.
+            # Its callbacks already ran: resume at the current time.  The
+            # fresh resume event is tracked as the wait target so a racing
+            # interrupt can detach it instead of double-dispatching.
             resume = Event(self.env)
             resume._ok = next_event._ok
             resume._value = next_event._value
             resume.callbacks.append(self._resume)
+            self._target = resume
             self.env._schedule(resume)
         else:
             self._target = next_event

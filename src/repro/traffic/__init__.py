@@ -7,6 +7,13 @@ from .generator import (
     PacketSizeDistribution,
     TrafficSource,
 )
+from .shapes import (
+    BurstTrainShape,
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    LoadShape,
+)
 
 __all__ = [
     "PacketSizeDistribution",
@@ -14,4 +21,9 @@ __all__ = [
     "DATACENTER_MIX",
     "FlowGenerator",
     "TrafficSource",
+    "LoadShape",
+    "ConstantShape",
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "BurstTrainShape",
 ]

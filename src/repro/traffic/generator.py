@@ -15,8 +15,12 @@ pieces:
 
 from __future__ import annotations
 
+import bisect
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .shapes import LoadShape
 
 from ..net.packet import Packet, build_packet
 from ..sim.engine import Environment
@@ -81,7 +85,18 @@ class FlowGenerator:
     """Deterministic packet factory over ``num_flows`` synthetic flows.
 
     Flows are TCP with distinct (src ip, src port) pairs in 10/8; each
-    call to :meth:`next_packet` round-robins flows and samples a size.
+    call to :meth:`next_packet` picks a flow and samples a size.  The
+    source address takes the low 24 bits of the flow index (one unique
+    host per flow up to 16.7M) and the source port absorbs any higher
+    bits, so 5-tuples never collide however many flows are asked for --
+    the old 16-bit derivation silently merged distinct "users" past
+    65,536 flows.
+
+    ``popularity`` selects how packets distribute over flows:
+    ``"uniform"`` round-robins (every flow equally hot), ``"zipf"``
+    draws flows from a Zipf(``zipf_s``) law -- a few elephant flows
+    carry most packets while a heavy tail of mice appears rarely, the
+    shape real traffic mixes take.
     """
 
     def __init__(
@@ -90,26 +105,49 @@ class FlowGenerator:
         sizes: PacketSizeDistribution = FIXED_64B,
         seed: int = 42,
         payload_fn: Optional[Callable[[int], bytes]] = None,
+        popularity: str = "uniform",
+        zipf_s: float = 1.2,
     ):
         if num_flows <= 0:
             raise ValueError("need at least one flow")
+        if popularity not in ("uniform", "zipf"):
+            raise ValueError(f"unknown popularity {popularity!r}")
+        if num_flows - 1 > 0xFFFFFF * (65535 - 10000):
+            raise ValueError("num_flows exceeds the 5-tuple space")
         self.sizes = sizes
+        self.popularity = popularity
         self._rng = random.Random(seed)
         self._payload_fn = payload_fn
         self._sequence = 0
         self._flows: List[Tuple[str, str, int, int]] = []
         for i in range(num_flows):
+            host = i & 0xFFFFFF
             self._flows.append(
                 (
-                    f"10.{(i >> 8) & 255}.{i & 255}.{(i % 250) + 1}",
+                    f"10.{(host >> 16) & 255}.{(host >> 8) & 255}.{host & 255}",
                     f"10.200.{(i * 7) % 256}.{(i % 250) + 1}",
-                    10000 + (i % 50000),
+                    10000 + (i >> 24),
                     80 if i % 3 else 443,
                 )
             )
+        self._cum_weights: Optional[List[float]] = None
+        if popularity == "zipf":
+            acc = 0.0
+            cum = []
+            for rank in range(1, num_flows + 1):
+                acc += 1.0 / (rank ** zipf_s)
+                cum.append(acc)
+            self._cum_weights = cum
+
+    def _pick_flow(self) -> Tuple[str, str, int, int]:
+        if self._cum_weights is None:
+            return self._flows[self._sequence % len(self._flows)]
+        roll = self._rng.random() * self._cum_weights[-1]
+        index = bisect.bisect_left(self._cum_weights, roll)
+        return self._flows[min(index, len(self._flows) - 1)]
 
     def next_packet(self) -> Packet:
-        flow = self._flows[self._sequence % len(self._flows)]
+        flow = self._pick_flow()
         self._sequence += 1
         size = self.sizes.sample(self._rng)
         payload = self._payload_fn(self._sequence) if self._payload_fn else b""
@@ -120,7 +158,10 @@ class FlowGenerator:
             dst_port=flow[3],
             size=size,
             payload=payload,
-            identification=self._sequence,
+            # The IPv4 identification field is 16 bits; long runs wrap
+            # naturally (dataplane matching never keys on the ident --
+            # only repro.check cases do, and those build their own).
+            identification=self._sequence & 0xFFFF,
         )
 
     def packets(self, count: int) -> List[Packet]:
@@ -133,6 +174,13 @@ class TrafficSource:
     ``rate_mpps`` sets the mean arrival rate; ``poisson`` selects
     exponential inter-arrival times (needed for queueing-dominated
     latency measurements) versus a deterministic gap.
+
+    ``shape`` (a :class:`~repro.traffic.shapes.LoadShape`) makes the
+    offered rate time-varying: each inter-burst gap is derived from the
+    shape's instantaneous rate at the current simulation time, so the
+    source traces diurnal curves, flash crowds, or burst trains instead
+    of a flat rate.  ``rate_mpps`` remains the nominal rate the shape
+    modulates around (and the fallback when no shape is given).
     """
 
     def __init__(
@@ -145,6 +193,7 @@ class TrafficSource:
         poisson: bool = True,
         burst: int = 32,
         seed: int = 1,
+        shape: Optional["LoadShape"] = None,
     ):
         if rate_mpps <= 0:
             raise ValueError("rate must be positive")
@@ -161,9 +210,16 @@ class TrafficSource:
         #: DPDK pktgen transmits in bursts; packets inside a burst arrive
         #: back to back and the inter-burst gap restores the mean rate.
         self.burst = burst
+        self.shape = shape
         self.offered = 0
         self._rng = random.Random(seed)
         self.done = env.process(self._run())
+
+    def _gap_for_burst(self, burst: int) -> float:
+        if self.shape is not None:
+            rate = max(self.shape.rate_mpps(self.env.now), 1e-6)
+            return burst / rate
+        return self.gap_us * burst
 
     def _run(self):
         remaining = self.count
@@ -175,7 +231,7 @@ class TrafficSource:
                 self.offered += 1
                 self.inject(pkt)
             remaining -= burst
-            mean_gap = self.gap_us * burst
+            mean_gap = self._gap_for_burst(burst)
             gap = (
                 self._rng.expovariate(1.0 / mean_gap)
                 if self.poisson

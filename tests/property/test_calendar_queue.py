@@ -38,7 +38,6 @@ def _run_program(scheduler, program):
     env = Environment(scheduler=scheduler)
     log = []
     procs = []
-    cancelled = set()
 
     def worker(wid, waits):
         try:
@@ -70,12 +69,7 @@ def _run_program(scheduler, program):
                 yield env.timeout(op[1])
                 log.append(("driver", env.now))
             elif kind == "cancel":
-                # One interrupt per process: a second interrupt racing
-                # the first is an engine-level hazard independent of the
-                # scheduler under test here.
-                if (op[1] < len(procs) and op[1] not in cancelled
-                        and procs[op[1]].is_alive):
-                    cancelled.add(op[1])
+                if op[1] < len(procs) and procs[op[1]].is_alive:
                     procs[op[1]].interrupt(op[1])
         yield env.timeout(0.0)
         log.append(("driver-done", env.now))

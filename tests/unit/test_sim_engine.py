@@ -232,6 +232,108 @@ def test_interrupt_finished_process_rejected():
         proc.interrupt()
 
 
+def test_double_interrupt_same_instant_delivers_both_causes():
+    """Two interrupts before any delivery must arrive as two Interrupts.
+
+    The old implementation scheduled one failure event per call and
+    re-armed ``_target`` in between, so the second call corrupted the
+    first delivery; causes queue on the process now and a single
+    carrier drains them in order.
+    """
+    env = Environment()
+    log = []
+
+    def victim():
+        while True:
+            try:
+                yield env.timeout(100.0)
+                return
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+    def attacker(target):
+        yield env.timeout(2.0)
+        target.interrupt("first")
+        target.interrupt("second")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run(until=300.0)
+    assert log == [(2.0, "first"), (2.0, "second")]
+    assert not target.is_alive
+
+
+def test_interrupt_batch_discarded_when_first_finishes_process():
+    """A queued interrupt racing process completion is dropped, not
+    thrown into a dead generator (which would surface as an unhandled
+    simulation failure)."""
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append(interrupt.cause)
+        # returning here finishes the process with "second" still queued
+
+    def attacker(target):
+        yield env.timeout(2.0)
+        target.interrupt("first")
+        target.interrupt("second")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == ["first"]
+
+
+def test_interrupt_before_bootstrap_still_starts_generator():
+    """Interrupting a just-spawned process must not detach its init
+    event: the generator bootstraps first, then catches the Interrupt
+    inside its own try block."""
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(5.0)
+            log.append("done")
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause))
+
+    target = env.process(victim())
+    target.interrupt("early")
+    env.run()
+    assert log == [("interrupted", "early")]
+
+
+def test_interrupt_after_rearm_hits_the_new_wait():
+    """Delivery-time detach: a process that catches one interrupt and
+    re-arms on a fresh event is interruptible again at a later time."""
+    env = Environment()
+    log = []
+
+    def victim():
+        while True:
+            try:
+                yield env.timeout(100.0)
+                return
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+    def attacker(target):
+        yield env.timeout(1.0)
+        target.interrupt("one")
+        yield env.timeout(3.0)
+        target.interrupt("two")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run(until=500.0)
+    assert log == [(1.0, "one"), (4.0, "two")]
+
+
 def test_yield_non_event_rejected():
     env = Environment()
 

@@ -1,0 +1,67 @@
+"""Unit tests for the time-varying load shapes and their source wiring."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.traffic import (
+    BurstTrainShape,
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    FlowGenerator,
+    TrafficSource,
+)
+
+
+def test_constant_shape_is_flat():
+    shape = ConstantShape(2.5)
+    assert shape.rate_mpps(0.0) == 2.5
+    assert shape.rate_mpps(1e9) == 2.5
+    assert shape.peak_mpps(1000.0) == 2.5
+
+
+def test_diurnal_shape_trough_and_peak():
+    shape = DiurnalShape(base_mpps=1.0, peak_mpps=3.0, period_us=1000.0)
+    assert shape.rate_mpps(0.0) == pytest.approx(1.0)
+    assert shape.rate_mpps(500.0) == pytest.approx(3.0)
+    assert shape.rate_mpps(1000.0) == pytest.approx(1.0)
+    assert shape.peak_mpps(1000.0) == pytest.approx(3.0, rel=1e-3)
+
+
+def test_flash_crowd_phases():
+    shape = FlashCrowdShape(base_mpps=1.0, peak_mpps=5.0, start_us=100.0,
+                            ramp_us=100.0, hold_us=200.0, decay_us=100.0)
+    assert shape.rate_mpps(0.0) == pytest.approx(1.0)
+    assert shape.rate_mpps(150.0) == pytest.approx(3.0)       # mid-ramp
+    assert shape.rate_mpps(300.0) == pytest.approx(5.0)       # plateau
+    late = shape.rate_mpps(450.0)                             # decaying
+    assert 1.0 < late < 5.0
+    assert shape.rate_mpps(5000.0) == pytest.approx(1.0, rel=1e-2)
+    assert shape.peak_mpps(600.0) == pytest.approx(5.0)
+
+
+def test_burst_train_alternates():
+    shape = BurstTrainShape(base_mpps=0.5, burst_mpps=4.0, period_us=100.0,
+                            burst_len_us=20.0)
+    assert shape.rate_mpps(10.0) == 4.0
+    assert shape.rate_mpps(50.0) == 0.5
+    assert shape.rate_mpps(110.0) == 4.0   # next period
+    profile = shape.profile(400.0, step_us=10.0)
+    assert max(r for _, r in profile) == 4.0
+    assert min(r for _, r in profile) == 0.5
+
+
+def test_source_follows_shape():
+    """A shaped source injects more densely at the shape's peak."""
+    env = Environment()
+    stamps = []
+    shape = FlashCrowdShape(base_mpps=0.5, peak_mpps=8.0, start_us=500.0,
+                            ramp_us=100.0, hold_us=1000.0, decay_us=100.0)
+    TrafficSource(env, lambda pkt: stamps.append(env.now), 0.5, 2000,
+                  flows=FlowGenerator(num_flows=8, seed=2), seed=2,
+                  poisson=False, shape=shape)
+    env.run()
+    before = sum(1 for t in stamps if t < 500.0)
+    during = sum(1 for t in stamps if 600.0 <= t < 1100.0)
+    assert during > 4 * before * (500.0 / 500.0)
+    assert len(stamps) == 2000
